@@ -1,0 +1,43 @@
+"""Bench: regenerate Fig. 6 — tail response time (P95/P99) vs baseline.
+
+The paper reports Big.Little beating Nimblock on P95 and P99 in every
+congestion condition (by 83 %/46 % under Stress, 56 %/48 % under
+Real-time), with P95 at or below the baseline's.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import TAIL_CONDITIONS, run_fig6
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig6_result(sequence_count):
+    fig5 = run_fig5(
+        seed=1, sequence_count=sequence_count, conditions=TAIL_CONDITIONS
+    )
+    return run_fig6(fig5_result=fig5)
+
+
+def test_fig6_tables(benchmark, sequence_count):
+    result = benchmark.pedantic(
+        lambda: run_fig6(seed=1, sequence_count=sequence_count),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.table())
+    for key, column in result.relative_tails.items():
+        # Big.Little's tails beat Nimblock's everywhere (paper Fig. 6).
+        assert column["VersaSlot-BL"] <= column["Nimblock"] * 1.05, key
+
+
+def test_fig6_bl_beats_nimblock_p95(fig6_result):
+    for condition in TAIL_CONDITIONS:
+        column = fig6_result.relative_tails[f"{condition.label}-95"]
+        assert column["VersaSlot-BL"] < column["Nimblock"]
+
+
+def test_fig6_bl_p95_at_or_below_baseline(fig6_result):
+    for condition in TAIL_CONDITIONS:
+        column = fig6_result.relative_tails[f"{condition.label}-95"]
+        assert column["VersaSlot-BL"] <= 1.05

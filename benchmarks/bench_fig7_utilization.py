@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 7 — utilization improvement of 3-in-1 tasks.
+
+Static gains come from the synthesis tables (exact reproduction of the
+figure's percentages); the dynamic variant verifies the gain materializes
+in a live simulation via the time-weighted utilization tracker.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import PAPER_FIG7, run_fig7, run_fig7_dynamic
+
+
+def test_fig7_static(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print("\n" + result.table())
+    for app, (paper_lut, paper_ff) in PAPER_FIG7.items():
+        lut, ff = result.gains[app]
+        assert lut == pytest.approx(paper_lut, abs=0.5)
+        assert ff == pytest.approx(paper_ff, abs=0.5)
+    # IC detail panel (DCT/Quantize/BDQ -> bundle).
+    assert result.detail_tasks == [0.57, 0.38, 0.28]
+    assert result.detail_mean == pytest.approx(0.41, abs=0.005)
+    assert result.detail_bundle == pytest.approx(0.60)
+
+
+@pytest.mark.parametrize("app_name", ["IC", "AN", "3DR", "OF"])
+def test_fig7_dynamic(benchmark, app_name):
+    little, big = benchmark.pedantic(
+        run_fig7_dynamic, kwargs={"app_name": app_name, "batch_size": 12},
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\nFig. 7 dynamic [{app_name}]: little LUT={little.lut:.3f} "
+        f"big LUT={big.lut:.3f} (+{(big.lut / little.lut - 1) * 100:.1f} %)"
+    )
+    assert big.lut > little.lut
+    assert big.ff > little.ff

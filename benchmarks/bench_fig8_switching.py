@@ -1,0 +1,58 @@
+"""Bench: regenerate Fig. 8 — cross-board switching and live migration.
+
+Left panel: the D_switch trajectory with the Schmitt trigger firing the
+Only.Little -> Big.Little switch at T1 = 0.1.  Right panel: response-time
+reduction of the Switching cluster and an Only-Big.Little board relative
+to Only.Little (paper: 2.98x and 6.65x).  The paper also reports a mean
+switching overhead of ~1.13 ms with pre-warming.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import (
+    PAPER_FIG8,
+    PAPER_SWITCH_OVERHEAD_MS,
+    run_fig8,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8_results(request):
+    paper_scale = request.config.getoption("--paper-scale")
+    n_apps = 80 if paper_scale else 40
+    seeds = (1, 2, 3) if paper_scale else (1, 3)
+    return [run_fig8(seed=seed, n_apps=n_apps) for seed in seeds]
+
+
+def test_fig8_switching_workloads(benchmark, request):
+    paper_scale = request.config.getoption("--paper-scale")
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"seed": 1, "n_apps": 80 if paper_scale else 40},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.trace())
+    print(result.comparison())
+    print(
+        f"mean switching overhead: {result.mean_switch_overhead_ms:.2f} ms "
+        f"(paper: {PAPER_SWITCH_OVERHEAD_MS:.2f} ms)"
+    )
+    assert result.switch_times_ms, "the trigger never fired"
+    assert result.reductions["Switching"] > 1.0
+
+
+def test_fig8_trigger_fires_once_per_ramp(fig8_results):
+    for result in fig8_results:
+        assert 1 <= len(result.switch_times_ms) <= 3
+
+
+def test_fig8_switching_beats_only_little(fig8_results):
+    for result in fig8_results:
+        assert result.reductions["Switching"] > 1.5  # paper: 2.98
+
+
+def test_fig8_prewarmed_overhead_small(fig8_results):
+    """At least one seed pre-warms in the buffer zone -> ~1 ms switches."""
+    overheads = [r.mean_switch_overhead_ms for r in fig8_results]
+    assert min(overheads) < 5.0

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulation kernel and scheduler hot paths.
+
+These are real pytest-benchmark timings (multiple rounds) — they guard
+against performance regressions that would make the figure benches
+impractically slow.
+"""
+
+from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+from repro.config import DEFAULT_PARAMETERS
+from repro.core import VersaSlotBigLittle
+from repro.fpga import BoardConfig, FPGABoard
+from repro.sim import Engine, Resource
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch rate of chained timeout events."""
+
+    def run():
+        engine = Engine()
+
+        def ticker():
+            for _ in range(5000):
+                yield engine.timeout(1.0)
+
+        engine.process(ticker())
+        engine.run()
+        return engine.now
+
+    result = benchmark(run)
+    assert result == 5000.0
+
+
+def test_kernel_resource_contention(benchmark):
+    """Grant/queue throughput of a contended mutex."""
+
+    def run():
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+
+        def worker():
+            for _ in range(50):
+                request = resource.acquire()
+                yield request
+                yield engine.timeout(1.0)
+                resource.release()
+
+        for _ in range(20):
+            engine.process(worker())
+        engine.run()
+        return resource.total_grants
+
+    grants = benchmark(run)
+    assert grants == 1000
+
+
+def test_scheduler_single_app_run(benchmark):
+    """Wall-clock cost of simulating one application end-to-end."""
+
+    def run():
+        reset_instance_ids()
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        scheduler.submit(ApplicationInstance(BENCHMARKS["OF"], 20, 0.0))
+        engine.run(until=50_000_000)
+        return scheduler.stats.completions
+
+    completions = benchmark(run)
+    assert completions == 1

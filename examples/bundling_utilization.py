@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""3-in-1 bundling: utilization gains and the serial/parallel criterion.
+
+Reproduces both panels of Fig. 7 from the synthesis tables, verifies the
+gain on a live simulation with the time-weighted utilization tracker, and
+demonstrates the runtime serial-vs-parallel bundling criterion
+(``Tmax * (B + 2) > sum(T) * B``) across batch sizes.
+
+Run with:  python examples/bundling_utilization.py
+"""
+
+from repro.apps import BENCHMARKS
+from repro.core import parallel_time_ms, serial_preferred, serial_time_ms
+from repro.experiments import run_fig7, run_fig7_dynamic
+from repro.metrics import format_table
+
+
+def main() -> None:
+    print(run_fig7().table())
+
+    print("\nLive verification (time-weighted occupied-slot utilization):")
+    for name in ("IC", "3DR"):
+        little, big = run_fig7_dynamic(name, batch_size=12)
+        print(f"  {name:4s}: Little slots LUT={little.lut:.3f} -> "
+              f"Big slots LUT={big.lut:.3f} "
+              f"(+{(big.lut / little.lut - 1) * 100:.1f} %)")
+
+    print("\nSerial vs parallel bundling (IC bundle 1, members "
+          f"{BENCHMARKS['IC'].bundle_exec_times(BENCHMARKS['IC'].bundles[1])} ms):")
+    times = BENCHMARKS["IC"].bundle_exec_times(BENCHMARKS["IC"].bundles[1])
+    rows = []
+    for batch in (1, 2, 3, 5, 10, 30):
+        rows.append([
+            batch,
+            serial_time_ms(times, batch),
+            parallel_time_ms(times, batch),
+            "serial" if serial_preferred(times, batch) else "parallel",
+        ])
+    print(format_table(["batch", "serial (ms)", "parallel (ms)", "chosen"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Cross-board switching with live migration (Fig. 8 scenario).
+
+Drives a two-board cluster (one Only.Little board, one Big.Little board)
+with a long workload whose congestion ramps up and relaxes.  The
+contention monitor recomputes D_switch every four candidate-queue
+updates; when the metric crosses T1 = 0.1 the Schmitt trigger fires a
+live migration onto the pre-warmed Big.Little board.  Prints the metric
+trace, the switch events with their overheads, and the three-mode
+comparison against single-board runs.
+
+Run with:  python examples/cluster_migration.py [n_apps]
+"""
+
+import sys
+
+from repro.experiments import PAPER_SWITCH_OVERHEAD_MS, run_fig8
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    print(f"Running the switching cluster over {n_apps} applications ...\n")
+    result = run_fig8(seed=1, n_apps=n_apps)
+
+    print(result.trace())
+    print()
+    for index, time_ms in enumerate(result.switch_times_ms):
+        print(f"switch #{index + 1} at t={time_ms:,.0f} ms")
+    print(f"mean switching overhead: {result.mean_switch_overhead_ms:.2f} ms "
+          f"(paper: {PAPER_SWITCH_OVERHEAD_MS:.2f} ms with pre-warming)")
+    print()
+    print(result.comparison())
+
+
+if __name__ == "__main__":
+    main()

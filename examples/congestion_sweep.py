@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Congestion sweep: Fig. 5 and Fig. 6 in miniature.
+
+Compares all six evaluated systems (Baseline, FCFS, RR, Nimblock,
+VersaSlot Only.Little, VersaSlot Big.Little) over the paper's four
+congestion conditions, printing the relative response-time reduction and
+the relative tail latencies next to the paper's values.  Uses two random
+sequences per condition by default; pass an integer argument to change
+that (the paper uses ten).
+
+Run with:  python examples/congestion_sweep.py [sequences]
+"""
+
+import sys
+
+from repro.experiments import run_fig5, run_fig6
+
+
+def main() -> None:
+    sequence_count = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    print(f"Running 6 systems x 4 conditions x {sequence_count} sequences "
+          f"(20 apps each) ...\n")
+    fig5 = run_fig5(seed=1, sequence_count=sequence_count)
+    print(fig5.table())
+    print()
+    # Fig. 6 reuses Fig. 5's Standard/Stress/Real-time runs.
+    fig6 = run_fig6(fig5_result=fig5)
+    print(fig6.table())
+
+
+if __name__ == "__main__":
+    main()

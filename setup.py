@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip lacks the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e . --no-build-isolation` / `setup.py develop` flows.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""VersaSlot reproduction: fine-grained FPGA sharing with Big.Little slots.
+
+A complete, simulation-based reproduction of *VersaSlot: Efficient
+Fine-grained FPGA Sharing with Big.Little Slots and Live Migration in FPGA
+Cluster* (DAC 2025).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Public API tour::
+
+    from repro import Engine, FPGABoard, BoardConfig
+    from repro.core import VersaSlotBigLittle
+    from repro.workloads import WorkloadGenerator, Condition, drive
+
+    engine = Engine()
+    board = FPGABoard(engine, BoardConfig.BIG_LITTLE)
+    scheduler = VersaSlotBigLittle(board)
+    arrivals = WorkloadGenerator(seed=1).sequence(Condition.STANDARD)
+    engine.process(drive(engine, scheduler, arrivals))
+    engine.run()
+"""
+
+from .config import DEFAULT_PARAMETERS, ParameterSweep, SystemParameters
+from .fpga import BoardConfig, FPGABoard, ResourceVector, SlotKind
+from .sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoardConfig",
+    "DEFAULT_PARAMETERS",
+    "Engine",
+    "FPGABoard",
+    "ParameterSweep",
+    "ResourceVector",
+    "SlotKind",
+    "SystemParameters",
+    "__version__",
+]

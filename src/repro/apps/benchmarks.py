@@ -1,0 +1,150 @@
+"""The five benchmark applications of the paper's evaluation.
+
+The paper uses the Nimblock/Rosetta benchmark set, partitioned by an
+automated Vivado flow: 3D Rendering (3 tasks), LeNet (6), Image Compression
+(6), AlexNet (6) and Optical Flow (9).  We have no Vivado, so each
+application carries a *synthesis report* table: per-task implementation
+usage in a Little slot, per-bundle implementation usage in a Big slot, and
+per-item execution latency.
+
+The usage tables are tuned so that the bundling utilization gains match the
+measurements in Fig. 7 (IC +42.2 %/+48.0 %, AN +36.4 %/+41.4 %,
+3DR +9.9 %/+17.7 %, OF +9.6 %/+14.1 % for LUT/FF), including the IC detail
+panel (tasks 0.57/0.38/0.28 → bundle 0.60).  Latencies are skewed (one dominant stage per
+pipeline, as HLS designs typically exhibit) and sized so that exclusive
+full-board multiplexing saturates at the Standard arrival interval while
+slot-shared execution does not — the congestion regime of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..fpga.resvec import ResourceVector
+from .application import BUNDLE_SIZE, ApplicationSpec, BundleSpec, TaskSpec
+
+
+def build_application(
+    name: str,
+    exec_times_ms: Sequence[float],
+    task_lut: Sequence[float],
+    task_ff: Sequence[float],
+    bundle_lut: Sequence[float] = (),
+    bundle_ff: Sequence[float] = (),
+) -> ApplicationSpec:
+    """Assemble an :class:`ApplicationSpec` from raw synthesis tables.
+
+    ``bundle_lut``/``bundle_ff`` are fractions of a *Big* slot; pass empty
+    sequences for applications without an offline 3-in-1 flow.
+    """
+    if not (len(exec_times_ms) == len(task_lut) == len(task_ff)):
+        raise ValueError(f"table lengths disagree for application {name!r}")
+    tasks = tuple(
+        TaskSpec(
+            name=f"{name}/t{i}",
+            index=i,
+            exec_time_ms=exec_times_ms[i],
+            usage=ResourceVector(task_lut[i], task_ff[i]),
+        )
+        for i in range(len(exec_times_ms))
+    )
+    bundles: Tuple[BundleSpec, ...] = ()
+    if bundle_lut or bundle_ff:
+        if len(bundle_lut) != len(bundle_ff):
+            raise ValueError(f"bundle table lengths disagree for {name!r}")
+        expected = len(tasks) // BUNDLE_SIZE
+        if len(tasks) % BUNDLE_SIZE != 0 or len(bundle_lut) != expected:
+            raise ValueError(
+                f"{name!r}: {len(tasks)} tasks cannot tile into {len(bundle_lut)} bundles"
+            )
+        bundles = tuple(
+            BundleSpec(
+                name=f"{name}/bundle{j}",
+                index=j,
+                task_indices=(3 * j, 3 * j + 1, 3 * j + 2),
+                usage_big=ResourceVector(bundle_lut[j], bundle_ff[j]),
+            )
+            for j in range(expected)
+        )
+    return ApplicationSpec(name=name, tasks=tasks, bundles=bundles)
+
+
+#: 3D Rendering — 3 tasks, heavy stages, bundles poorly (dense tasks).
+THREE_D_RENDERING = build_application(
+    "3DR",
+    exec_times_ms=[75.0, 30.0, 45.0],
+    task_lut=[0.62, 0.55, 0.60],
+    task_ff=[0.45, 0.40, 0.43],
+    bundle_lut=[0.6484],
+    bundle_ff=[0.5022],
+)
+
+#: LeNet — 6 light convolution/pooling tasks (not shown in Fig. 7).
+LENET = build_application(
+    "LeNet",
+    exec_times_ms=[20.0, 15.0, 12.0, 60.0, 18.0, 15.0],
+    task_lut=[0.35, 0.30, 0.28, 0.33, 0.38, 0.26],
+    task_ff=[0.28, 0.24, 0.22, 0.27, 0.30, 0.21],
+    bundle_lut=[0.47, 0.46],
+    bundle_ff=[0.37, 0.36],
+)
+
+#: Image Compression — 6 tasks; Fig. 7 detail: DCT/Quantize/BDQ = bundle0.
+IMAGE_COMPRESSION = build_application(
+    "IC",
+    exec_times_ms=[15.0, 10.0, 8.0, 65.0, 12.0, 10.0],
+    task_lut=[0.57, 0.38, 0.28, 0.45, 0.52, 0.33],
+    task_ff=[0.42, 0.31, 0.25, 0.38, 0.44, 0.30],
+    bundle_lut=[0.60, 0.599],
+    bundle_ff=[0.52, 0.516],
+)
+
+#: AlexNet — 6 heavier CNN tasks.
+ALEXNET = build_application(
+    "AN",
+    exec_times_ms=[25.0, 20.0, 18.0, 80.0, 22.0, 20.0],
+    task_lut=[0.52, 0.44, 0.36, 0.48, 0.55, 0.41],
+    task_ff=[0.40, 0.33, 0.28, 0.37, 0.43, 0.31],
+    bundle_lut=[0.63, 0.625],
+    bundle_ff=[0.50, 0.499],
+)
+
+#: Optical Flow — 9 tasks, longest pipeline in the set.
+OPTICAL_FLOW = build_application(
+    "OF",
+    exec_times_ms=[15.0, 12.0, 18.0, 70.0, 15.0, 12.0, 18.0, 15.0, 12.0],
+    task_lut=[0.58, 0.52, 0.61, 0.55, 0.63, 0.50, 0.57, 0.54, 0.60],
+    task_ff=[0.44, 0.39, 0.46, 0.41, 0.48, 0.38, 0.43, 0.40, 0.45],
+    bundle_lut=[0.62, 0.62, 0.623],
+    bundle_ff=[0.49, 0.487, 0.484],
+)
+
+#: Registry keyed by short name, in the paper's listing order.
+BENCHMARKS: Dict[str, ApplicationSpec] = {
+    "3DR": THREE_D_RENDERING,
+    "LeNet": LENET,
+    "IC": IMAGE_COMPRESSION,
+    "AN": ALEXNET,
+    "OF": OPTICAL_FLOW,
+}
+
+#: Applications shown in Fig. 7, in the figure's x-axis order.
+FIG7_APPS: Tuple[str, ...] = ("IC", "AN", "3DR", "OF")
+
+#: Human-readable task names for the IC detail panel of Fig. 7.
+IC_DETAIL_TASKS: Tuple[str, ...] = ("DCT", "Quantize", "BDQ")
+
+
+def benchmark_names() -> List[str]:
+    """Registered application names."""
+    return list(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> ApplicationSpec:
+    """Look up an application by short name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None

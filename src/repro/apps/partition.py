@@ -1,0 +1,146 @@
+"""HLS-style partitioning and bundle synthesis (the offline flow).
+
+The paper prepares bitstreams offline: an automated TCL script partitions
+each application into Little-slot-sized tasks based on synthesis resource
+reports, and synthesizes 3-in-1 bundles for Big slots.  Two properties of
+HLS synthesis matter for the evaluation and are modelled here:
+
+* **Stepwise resource growth** — HLS resource consumption grows in steps
+  (unroll factors, memory partitioning), not linearly with work.  This is
+  why uniform slots over- or under-subscribe, motivating Big.Little.
+* **Bundle consolidation** — synthesizing three tasks as one module shares
+  interface/control overhead, so the bundle's usage is slightly below the
+  sum of its parts.
+
+These generators produce *synthetic* applications used by stress tests,
+property tests and the extended workload sweeps; the five paper benchmarks
+in :mod:`repro.apps.benchmarks` use fixed measured tables instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..fpga.resvec import ResourceVector
+from .application import BUNDLE_SIZE, ApplicationSpec, BundleSpec, TaskSpec
+
+#: Discrete utilization steps HLS synthesis tends to land on.
+HLS_UTILIZATION_STEPS = (0.25, 0.33, 0.4, 0.5, 0.6, 0.75)
+
+#: Fraction of summed task resources a merged bundle implementation needs.
+BUNDLE_CONSOLIDATION = 0.97
+
+
+def quantize_usage(raw: float, steps: Sequence[float] = HLS_UTILIZATION_STEPS) -> float:
+    """Snap a raw utilization to the smallest step that fits it.
+
+    Models the stepwise jumps of HLS resource reports: a kernel needing
+    0.41 of a slot synthesizes to the 0.5 step.
+    """
+    if raw <= 0:
+        raise ValueError(f"raw utilization must be positive, got {raw}")
+    for step in steps:
+        if raw <= step:
+            return step
+    return min(raw, 1.0)
+
+
+def synthesize_bundle(
+    name: str,
+    index: int,
+    members: Sequence[TaskSpec],
+    big_scale: float = 2.0,
+    consolidation: float = BUNDLE_CONSOLIDATION,
+) -> BundleSpec:
+    """Synthesize a 3-in-1 bundle from three member tasks.
+
+    The merged implementation needs ``consolidation`` of the summed member
+    resources, expressed as a fraction of a Big slot (``big_scale`` Little
+    slots).  Raises if the bundle does not fit a Big slot — the offline
+    flow would reject such a partitioning.
+    """
+    if len(members) != BUNDLE_SIZE:
+        raise ValueError(f"a bundle needs exactly {BUNDLE_SIZE} members")
+    summed = ResourceVector.total(task.usage for task in members)
+    usage_big = summed.scale(consolidation / big_scale)
+    if not usage_big.fits_within(ResourceVector(1.0, 1.0)):
+        raise ValueError(
+            f"bundle {name!r} usage {usage_big} does not fit a Big slot; "
+            "re-partition the application"
+        )
+    indices = (members[0].index, members[1].index, members[2].index)
+    return BundleSpec(name=name, index=index, task_indices=indices, usage_big=usage_big)
+
+
+def generate_synthetic_application(
+    name: str,
+    task_count: int,
+    rng: random.Random,
+    mean_exec_ms: float = 6.0,
+    bundled: Optional[bool] = None,
+) -> ApplicationSpec:
+    """Generate a synthetic application via the modelled offline flow.
+
+    Per-task work is drawn around ``mean_exec_ms``; usage comes from the
+    work via the stepwise HLS model with some independent FF skew.
+    ``bundled`` defaults to "whenever the task count tiles into bundles".
+    """
+    if task_count < 1:
+        raise ValueError(f"task count must be >= 1, got {task_count}")
+    tasks: List[TaskSpec] = []
+    for i in range(task_count):
+        exec_ms = max(0.5, rng.gauss(mean_exec_ms, mean_exec_ms * 0.3))
+        raw_lut = min(0.95, max(0.1, exec_ms / (mean_exec_ms * 2.2)))
+        lut = quantize_usage(raw_lut)
+        ff = max(0.05, min(1.0, lut * rng.uniform(0.7, 0.9)))
+        tasks.append(
+            TaskSpec(
+                name=f"{name}/t{i}",
+                index=i,
+                exec_time_ms=round(exec_ms, 3),
+                usage=ResourceVector(lut, round(ff, 3)),
+            )
+        )
+    if bundled is None:
+        bundled = task_count % BUNDLE_SIZE == 0
+    bundles = ()
+    if bundled:
+        if task_count % BUNDLE_SIZE != 0:
+            raise ValueError(
+                f"cannot bundle {task_count} tasks into groups of {BUNDLE_SIZE}"
+            )
+        bundles = tuple(
+            synthesize_bundle(
+                f"{name}/bundle{j}", j, tasks[3 * j : 3 * j + 3]
+            )
+            for j in range(task_count // BUNDLE_SIZE)
+        )
+    return ApplicationSpec(name=name, tasks=tuple(tasks), bundles=bundles)
+
+
+def partition_workload(
+    name: str,
+    total_work_ms: float,
+    rng: random.Random,
+    max_task_ms: float = 8.0,
+) -> ApplicationSpec:
+    """Partition a monolithic workload into Little-slot-sized tasks.
+
+    Splits ``total_work_ms`` of compute into the smallest task count whose
+    per-task work fits ``max_task_ms``, rounded up to a bundle-tileable
+    count when close — mirroring how the paper's script favours partitions
+    that can also target Big slots.
+    """
+    if total_work_ms <= 0:
+        raise ValueError(f"total work must be positive, got {total_work_ms}")
+    task_count = max(1, int(-(-total_work_ms // max_task_ms)))
+    if task_count % BUNDLE_SIZE != 0 and task_count > 2:
+        task_count += BUNDLE_SIZE - task_count % BUNDLE_SIZE
+    return generate_synthetic_application(
+        name,
+        task_count,
+        rng,
+        mean_exec_ms=total_work_ms / task_count,
+        bundled=task_count % BUNDLE_SIZE == 0,
+    )

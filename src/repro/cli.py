@@ -1,0 +1,93 @@
+"""Command-line interface: ``python -m repro <figure> [options]``.
+
+Regenerates any of the paper's figures from the terminal:
+
+.. code-block:: sh
+
+    python -m repro fig5 --sequences 3
+    python -m repro fig6
+    python -m repro fig7
+    python -m repro fig8 --apps 80 --seed 2
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    PAPER_SWITCH_OVERHEAD_MS,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from .experiments.runner import SYSTEMS
+from .metrics.plots import bar_chart, trace_plot
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VersaSlot (DAC 2025) reproduction: regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = sub.add_parser("fig5", help="relative response-time reduction")
+    fig5.add_argument("--sequences", type=int, default=2)
+    fig5.add_argument("--apps", type=int, default=20)
+    fig5.add_argument("--seed", type=int, default=1)
+
+    fig6 = sub.add_parser("fig6", help="tail latency (P95/P99)")
+    fig6.add_argument("--sequences", type=int, default=2)
+    fig6.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("fig7", help="3-in-1 utilization gains")
+
+    fig8 = sub.add_parser("fig8", help="cross-board switching")
+    fig8.add_argument("--apps", type=int, default=60)
+    fig8.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list the evaluated systems")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (cls, config) in SYSTEMS.items():
+            print(f"{name:<14s} {cls.__name__:<22s} board={config.value}")
+        return 0
+    if args.command == "fig5":
+        result = run_fig5(seed=args.seed, sequence_count=args.sequences, n_apps=args.apps)
+        print(result.table())
+        return 0
+    if args.command == "fig6":
+        print(run_fig6(seed=args.seed, sequence_count=args.sequences).table())
+        return 0
+    if args.command == "fig7":
+        print(run_fig7().table())
+        return 0
+    if args.command == "fig8":
+        result = run_fig8(seed=args.seed, n_apps=args.apps)
+        print(trace_plot(
+            [s.value for s in result.samples],
+            title="D_switch trajectory",
+            thresholds={"T1": 0.1, "T2": 0.0125},
+        ))
+        print()
+        print(bar_chart(
+            result.reductions,
+            title="Response reduction vs Only.Little",
+            reference={"Switching": 2.98, "Only Big.Little": 6.65},
+        ))
+        print(f"\nmean switching overhead: {result.mean_switch_overhead_ms:.2f} ms "
+              f"(paper: {PAPER_SWITCH_OVERHEAD_MS:.2f} ms)")
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cluster layer: boards, live migration and the contention monitor."""
+
+from .cluster import FPGACluster, SchedulerFactory
+from .migration import (
+    SD_STAGE_MS_PER_BITSTREAM,
+    MigrationRecord,
+    MigrationStats,
+    migrate,
+    prewarm_board,
+)
+from .monitor import ContentionMonitor
+
+__all__ = [
+    "ContentionMonitor",
+    "FPGACluster",
+    "MigrationRecord",
+    "MigrationStats",
+    "SD_STAGE_MS_PER_BITSTREAM",
+    "SchedulerFactory",
+    "migrate",
+    "prewarm_board",
+]

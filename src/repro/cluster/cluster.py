@@ -1,0 +1,157 @@
+"""The FPGA cluster: boards, routing and the switching loop.
+
+A :class:`FPGACluster` owns one board per static-region configuration,
+routes arrivals to the *active* board, and — when a
+:class:`~repro.cluster.monitor.ContentionMonitor` is attached — executes
+the cross-board switches the Schmitt trigger requests.  A single standby
+board is enough to switch the whole system (paper §III-D1): the old board
+drains its started applications and is then free to serve as the next
+standby.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fpga.board import FPGABoard, connect_boards
+from ..fpga.interconnect import AuroraLink
+from ..fpga.slots import BoardConfig
+from ..apps.application import ApplicationInstance
+from ..schedulers.base import ResponseRecord
+from ..sim import Engine, Tracer, NULL_TRACER
+from .migration import MigrationStats, migrate, prewarm_board
+
+#: Builds a scheduler for a board: ``factory(board, params, tracer)``.
+SchedulerFactory = Callable[[FPGABoard, SystemParameters, Tracer], object]
+
+
+class FPGACluster:
+    """Two-board (extensible) cluster with live cross-board switching."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler_factory: SchedulerFactory,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        configs: Optional[List[BoardConfig]] = None,
+        initial: BoardConfig = BoardConfig.ONLY_LITTLE,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+        self.tracer = tracer
+        if configs is None:
+            configs = [BoardConfig.ONLY_LITTLE, BoardConfig.BIG_LITTLE]
+        if initial not in configs:
+            raise ValueError(f"initial config {initial} not among {configs}")
+        self.boards: List[FPGABoard] = []
+        self.schedulers: List[object] = []
+        for index, config in enumerate(configs):
+            board = FPGABoard(engine, config, params, name=f"board{index}-{config.value}")
+            self.boards.append(board)
+            scheduler = scheduler_factory(board, params, tracer)
+            scheduler.finish_listeners.append(self._on_finish)
+            self.schedulers.append(scheduler)
+        self.links: Dict[tuple, AuroraLink] = {}
+        for i in range(len(self.boards)):
+            for j in range(i + 1, len(self.boards)):
+                self.links[(i, j)] = connect_boards(self.boards[i], self.boards[j])
+        self._active = configs.index(initial)
+        self.migration_stats = MigrationStats()
+        self.responses: List[ResponseRecord] = []
+        self._prewarmed: Dict[int, bool] = {}
+        self._switching = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active_board(self) -> FPGABoard:
+        return self.boards[self._active]
+
+    @property
+    def active_scheduler(self):
+        return self.schedulers[self._active]
+
+    @property
+    def active_config(self) -> BoardConfig:
+        return self.active_board.config
+
+    def scheduler_for(self, config: BoardConfig):
+        """The scheduler of the first drained board with ``config``."""
+        for index, board in enumerate(self.boards):
+            if board.config is config and index != self._active:
+                return self.schedulers[index]
+        raise LookupError(f"no standby board with configuration {config.value}")
+
+    def submit(self, inst: ApplicationInstance) -> None:
+        """Route a new arrival to the active board."""
+        self.active_scheduler.submit(inst)
+
+    @property
+    def is_drained(self) -> bool:
+        return all(sched.is_drained for sched in self.schedulers)
+
+    def response_times_ms(self) -> List[float]:
+        return [record.response_ms for record in self.responses]
+
+    # ------------------------------------------------------------------
+    # Switching
+    # ------------------------------------------------------------------
+    def prewarm(self, config: BoardConfig) -> None:
+        """Stage bitstreams on the standby board with ``config``."""
+        try:
+            target = self.scheduler_for(config)
+        except LookupError:
+            return
+        index = self.schedulers.index(target)
+        if not self._prewarmed.get(index):
+            prewarm_board(target.board, self.active_board)
+            self._prewarmed[index] = True
+            self.tracer.emit(self.engine.now, "prewarm", board=target.board.name)
+
+    def request_switch(self, config: BoardConfig) -> bool:
+        """Start a live migration to the standby board with ``config``.
+
+        Returns False when a switch is already in flight or no standby
+        board matches.
+        """
+        if self._switching or self.active_config is config:
+            return False
+        try:
+            target = self.scheduler_for(config)
+        except LookupError:
+            return False
+        source = self.active_scheduler
+        source_index = self._active
+        target_index = self.schedulers.index(target)
+        prewarmed = self._prewarmed.get(target_index, False)
+        self._switching = True
+        # New arrivals go to the target immediately; the backlog follows
+        # over the link.
+        self._active = target_index
+        target.open_intake()
+        link = self._link_between(source_index, target_index)
+
+        def run() -> Generator:
+            yield from migrate(
+                self.engine, self.params, link, source, target,
+                self.migration_stats, prewarmed,
+            )
+            self._switching = False
+            self._prewarmed[target_index] = False
+            # The drained source becomes a clean standby again.
+            source.open_intake()
+            self.tracer.emit(
+                self.engine.now, "switch", source=source.board.name,
+                target=target.board.name,
+            )
+
+        self.engine.process(run())
+        return True
+
+    # ------------------------------------------------------------------
+    def _link_between(self, i: int, j: int) -> AuroraLink:
+        return self.links[(min(i, j), max(i, j))]
+
+    def _on_finish(self, scheduler, app_run) -> None:
+        self.responses.append(ResponseRecord(app_run.inst, self.engine.now))

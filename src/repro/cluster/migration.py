@@ -1,0 +1,112 @@
+"""Live migration between boards (cross-board switching, §III-D).
+
+When a switch triggers, the source board stops taking new work, the
+applications still waiting in its ready list are shipped over the Aurora
+link via DMA (contexts + buffers), and the target board resumes them.
+Applications whose tasks are already executing drain on the source board —
+the paper keeps them local to avoid bitstream reload overhead — and the
+source is freed once drained.
+
+Pre-warming (performed while ``D_switch`` sits in the trigger's buffer
+zone) stages the bitstream library onto the target's SD card ahead of
+time; an un-warmed target pays that staging cost inside the switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..config import SystemParameters
+from ..fpga.board import FPGABoard
+from ..fpga.interconnect import AuroraLink
+from ..sim import Engine
+
+
+@dataclass
+class MigrationRecord:
+    """Bookkeeping for one completed cross-board switch."""
+
+    start_ms: float
+    end_ms: float
+    apps_moved: int
+    source: str
+    target: str
+    prewarmed: bool
+
+    @property
+    def overhead_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class MigrationStats:
+    """Aggregate statistics over all switches in a run."""
+
+    records: List[MigrationRecord] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def apps_moved(self) -> int:
+        return sum(record.apps_moved for record in self.records)
+
+    def mean_overhead_ms(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.overhead_ms for record in self.records) / len(self.records)
+
+
+#: SD staging cost per bitstream when the target was not pre-warmed (ms).
+SD_STAGE_MS_PER_BITSTREAM = 40.0
+
+
+def prewarm_board(target: FPGABoard, source: FPGABoard) -> int:
+    """Stage the source's bitstream library onto the target's SD card.
+
+    Returns the number of bitstreams copied.  Called from the buffer-zone
+    pre-warming path, ahead of the actual switch, so the switch itself
+    only moves application contexts.
+    """
+    return target.sd_card.stage(source.sd_card)
+
+
+def migrate(
+    engine: Engine,
+    params: SystemParameters,
+    link: AuroraLink,
+    source_sched,
+    target_sched,
+    stats: MigrationStats,
+    prewarmed: bool,
+) -> Generator:
+    """Process: move the source's waiting applications to the target.
+
+    The caller must have routed new arrivals to the target already; this
+    process only transfers the backlog.  Returns the
+    :class:`MigrationRecord`.
+    """
+    start = engine.now
+    source_sched.close_intake()
+    instances = source_sched.extract_waiting_apps()
+    staged = 0
+    if not prewarmed:
+        staged = prewarm_board(target_sched.board, source_sched.board)
+        if staged:
+            yield engine.timeout(staged * SD_STAGE_MS_PER_BITSTREAM)
+    payload_mb = len(instances) * params.app_context_mb
+    yield from link.transfer(payload_mb)
+    for inst in instances:
+        target_sched.submit(inst)
+    record = MigrationRecord(
+        start_ms=start,
+        end_ms=engine.now,
+        apps_moved=len(instances),
+        source=source_sched.board.name,
+        target=target_sched.board.name,
+        prewarmed=prewarmed and staged == 0,
+    )
+    stats.records.append(record)
+    return record

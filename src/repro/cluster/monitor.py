@@ -1,0 +1,71 @@
+"""Contention monitor: connects D_switch, the trigger and the cluster.
+
+The monitor listens to candidate-queue updates (arrivals and completions)
+of every board scheduler, recomputes ``D_switch`` for the *active* board
+every ``n`` updates, feeds the Schmitt trigger, pre-warms the standby
+board while the metric crosses the buffer zone, and fires the actual
+cross-board switch when a threshold is hit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..core.dswitch import DSwitchCalculator, DSwitchSample
+from ..core.switching import SchmittTrigger, SwitchDecision, TriggerEvent
+from ..fpga.slots import BoardConfig
+from .cluster import FPGACluster
+
+
+class ContentionMonitor:
+    """Drives cross-board switching from the D_switch metric."""
+
+    def __init__(
+        self,
+        cluster: FPGACluster,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        trigger: Optional[SchmittTrigger] = None,
+        calculator: Optional[DSwitchCalculator] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.enabled = enabled
+        self.trigger = trigger or SchmittTrigger(
+            threshold_up=params.switch_threshold_up,
+            threshold_down=params.switch_threshold_down,
+            mode=cluster.active_config,
+        )
+        self.calculator = calculator or DSwitchCalculator(
+            period=params.dswitch_update_period
+        )
+        self.events: List[TriggerEvent] = []
+        for scheduler in cluster.schedulers:
+            scheduler.candidate_listeners.append(self._on_update)
+
+    @property
+    def samples(self) -> List[DSwitchSample]:
+        return self.calculator.samples
+
+    def _on_update(self, scheduler) -> None:
+        if not self.enabled:
+            return
+        if scheduler is not self.cluster.active_scheduler:
+            return
+        sample = self.calculator.on_candidate_update(scheduler)
+        if sample is None:
+            return
+        event = self.trigger.update(sample.time, sample.value)
+        self.events.append(event)
+        if event.decision is SwitchDecision.TO_BIG_LITTLE:
+            self._switch(BoardConfig.BIG_LITTLE)
+        elif event.decision is SwitchDecision.TO_ONLY_LITTLE:
+            self._switch(BoardConfig.ONLY_LITTLE)
+        elif event.prewarm is not None:
+            self.cluster.prewarm(event.prewarm)
+
+    def _switch(self, config: BoardConfig) -> None:
+        accepted = self.cluster.request_switch(config)
+        if not accepted:
+            # Standby not available: fall back so the trigger can re-fire.
+            self.trigger.mode = self.cluster.active_config

@@ -1,0 +1,34 @@
+"""VersaSlot core: Big.Little allocation, bundling, D_switch, switch loop."""
+
+from .allocation import allocate_big_little
+from .bundling import (
+    bundle_tiling,
+    idle_subslot_cycles,
+    parallel_time_ms,
+    serial_preferred,
+    serial_time_ms,
+)
+from .dswitch import DSwitchCalculator, DSwitchSample
+from .scheduling import dispatch_order, pending_pr_payloads, ready_task_queue
+from .switching import SchmittTrigger, SwitchDecision, TriggerEvent
+from .versaslot import VersaSlotBigLittle, VersaSlotOnlyLittle, make_versaslot
+
+__all__ = [
+    "DSwitchCalculator",
+    "DSwitchSample",
+    "SchmittTrigger",
+    "SwitchDecision",
+    "TriggerEvent",
+    "VersaSlotBigLittle",
+    "VersaSlotOnlyLittle",
+    "allocate_big_little",
+    "bundle_tiling",
+    "dispatch_order",
+    "idle_subslot_cycles",
+    "make_versaslot",
+    "pending_pr_payloads",
+    "ready_task_queue",
+    "parallel_time_ms",
+    "serial_preferred",
+    "serial_time_ms",
+]

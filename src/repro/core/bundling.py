@@ -1,0 +1,89 @@
+"""3-in-1 task bundling (the Big-slot execution model).
+
+A Big slot hosts three consecutive tasks loaded as one bitstream.  At
+runtime the scheduler chooses between the two internal organizations
+(Fig. 3 of the paper):
+
+* **parallel** — the members form an internal pipeline; each batch item
+  costs ``Tmax`` after the fill, so the batch takes ``Tmax * (B + 2)``;
+* **serial** — members run whole batches back to back: ``sum(T) * B``.
+
+The paper's criterion: serial is preferable when
+``Tmax * (B + 2) > sum(T) * B``.  Serial avoids the idle sub-slots a
+lop-sided parallel pipeline leaves (the grey cells of Fig. 3) at the cost
+of losing overlap — worth it for small batches or skewed member latencies.
+
+The module also provides the bundle-size tiling used by the ablation bench
+(the paper fixes the size at 3; we can evaluate 2 and 4 as well).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..apps.application import BUNDLE_SIZE
+
+
+def parallel_time_ms(exec_times_ms: Sequence[float], batch_size: int) -> float:
+    """Batch latency of the parallel (internal pipeline) organization."""
+    _validate(exec_times_ms, batch_size)
+    return max(exec_times_ms) * (batch_size + len(exec_times_ms) - 1)
+
+
+def serial_time_ms(exec_times_ms: Sequence[float], batch_size: int) -> float:
+    """Batch latency of the serial organization."""
+    _validate(exec_times_ms, batch_size)
+    return sum(exec_times_ms) * batch_size
+
+
+def serial_preferred(exec_times_ms: Sequence[float], batch_size: int) -> bool:
+    """The paper's runtime criterion: ``Tmax * (B + 2) > sum(T) * B``.
+
+    Written for the 3-member case (hence the ``+ 2`` pipeline-fill term);
+    generalizes to other bundle sizes via ``len - 1``.
+    """
+    _validate(exec_times_ms, batch_size)
+    fill_steps = len(exec_times_ms) - 1
+    parallel = max(exec_times_ms) * (batch_size + fill_steps)
+    serial = sum(exec_times_ms) * batch_size
+    return parallel > serial
+
+
+def idle_subslot_cycles(exec_times_ms: Sequence[float], batch_size: int) -> float:
+    """Total idle time across the bundle's sub-slots in parallel mode.
+
+    Each pipeline step lasts ``Tmax``; a member with latency ``T_i`` idles
+    ``Tmax - T_i`` per step.  This is the quantity that grows with bundle
+    size and motivates fixing the size at 3.
+    """
+    _validate(exec_times_ms, batch_size)
+    t_max = max(exec_times_ms)
+    steps = batch_size + len(exec_times_ms) - 1
+    return sum(t_max - t for t in exec_times_ms) * steps
+
+
+def bundle_tiling(task_count: int, bundle_size: int = BUNDLE_SIZE) -> List[Tuple[int, ...]]:
+    """Tile ``task_count`` pipeline stages into consecutive bundles.
+
+    Raises when the task count does not tile exactly — the offline flow
+    only bundles applications whose partition fits.
+    """
+    if bundle_size < 1:
+        raise ValueError(f"bundle size must be >= 1, got {bundle_size}")
+    if task_count % bundle_size != 0:
+        raise ValueError(
+            f"{task_count} tasks do not tile into bundles of {bundle_size}"
+        )
+    return [
+        tuple(range(start, start + bundle_size))
+        for start in range(0, task_count, bundle_size)
+    ]
+
+
+def _validate(exec_times_ms: Sequence[float], batch_size: int) -> None:
+    if not exec_times_ms:
+        raise ValueError("a bundle needs at least one member task")
+    if any(t <= 0 for t in exec_times_ms):
+        raise ValueError(f"member latencies must be positive: {exec_times_ms}")
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")

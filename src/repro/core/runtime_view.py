@@ -1,0 +1,43 @@
+"""Structural typing for the allocation policy.
+
+Algorithm 1 only needs a narrow view of the scheduler and its application
+runs; these protocols document that surface and let the unit tests drive
+the allocator with lightweight fakes instead of a full simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+
+class AppLike(Protocol):
+    """The slice of :class:`~repro.schedulers.runtime.AppRun` Algorithm 1 uses."""
+
+    alloc_big: int
+    alloc_little: int
+    in_big: bool
+    started: bool
+
+    @property
+    def spec(self):  # ApplicationSpec-like: needs .can_bundle
+        ...
+
+    @property
+    def inst(self):  # ApplicationInstance-like: needs .app_id
+        ...
+
+    def unfinished_task_count(self) -> int: ...
+
+    def unfinished_bundle_count(self) -> int: ...
+
+
+class SchedulerLike(Protocol):
+    """The slice of :class:`~repro.schedulers.base.OnBoardScheduler` used."""
+
+    big_total: int
+    little_total: int
+    c_wait: List[AppLike]
+    s_big: List[AppLike]
+    s_little: List[AppLike]
+
+    def committed_little(self) -> int: ...

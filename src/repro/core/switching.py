@@ -1,0 +1,95 @@
+"""The Schmitt-trigger switch loop with buffer-zone pre-warming (Fig. 4).
+
+Two thresholds bound a hysteresis buffer zone:
+
+* ``D_switch`` rising past ``T1`` → switch Only.Little → Big.Little
+  (contention too high; bundles will absorb PR traffic);
+* ``D_switch`` falling past ``T2`` → switch Big.Little → Only.Little
+  (contention low; finer slots admit more applications).
+
+While the metric sits inside the buffer zone, the loop *anticipates* the
+direction of change from the metric's slope and asks the cluster to
+pre-warm the corresponding standby board (pre-configure the static region,
+stage bitstreams onto its SD card) so the eventual migration is seamless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..fpga.slots import BoardConfig
+
+
+class SwitchDecision(Enum):
+    """Outcome of one trigger update."""
+
+    HOLD = "hold"
+    TO_BIG_LITTLE = "to_big_little"
+    TO_ONLY_LITTLE = "to_only_little"
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """A recorded trigger transition or pre-warm request."""
+
+    time: float
+    value: float
+    decision: SwitchDecision
+    prewarm: Optional[BoardConfig]
+
+
+@dataclass
+class SchmittTrigger:
+    """Hysteresis switch loop over the D_switch metric."""
+
+    threshold_up: float = 0.1
+    threshold_down: float = 0.0125
+    mode: BoardConfig = BoardConfig.ONLY_LITTLE
+    history: List[TriggerEvent] = field(default_factory=list)
+    _previous_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.threshold_down < self.threshold_up < 1.0):
+            raise ValueError(
+                f"need 0 < T2 ({self.threshold_down}) < T1 ({self.threshold_up}) < 1"
+            )
+
+    def in_buffer_zone(self, value: float) -> bool:
+        """True when the metric sits between the two thresholds."""
+        return self.threshold_down < value < self.threshold_up
+
+    def anticipate(self, value: float) -> Optional[BoardConfig]:
+        """Pre-warm target while inside the buffer zone, from the slope."""
+        if not self.in_buffer_zone(value) or self._previous_value is None:
+            return None
+        if value > self._previous_value and self.mode is BoardConfig.ONLY_LITTLE:
+            return BoardConfig.BIG_LITTLE
+        if value < self._previous_value and self.mode is BoardConfig.BIG_LITTLE:
+            return BoardConfig.ONLY_LITTLE
+        return None
+
+    def update(self, time: float, value: float) -> TriggerEvent:
+        """Feed one D_switch sample; returns the decision (and pre-warm hint)."""
+        if not (0.0 <= value <= 1.0):
+            raise ValueError(f"D_switch must be within [0, 1], got {value}")
+        decision = SwitchDecision.HOLD
+        if self.mode is BoardConfig.ONLY_LITTLE and value >= self.threshold_up:
+            self.mode = BoardConfig.BIG_LITTLE
+            decision = SwitchDecision.TO_BIG_LITTLE
+        elif self.mode is BoardConfig.BIG_LITTLE and value <= self.threshold_down:
+            self.mode = BoardConfig.ONLY_LITTLE
+            decision = SwitchDecision.TO_ONLY_LITTLE
+        prewarm = self.anticipate(value) if decision is SwitchDecision.HOLD else None
+        self._previous_value = value
+        event = TriggerEvent(time=time, value=value, decision=decision, prewarm=prewarm)
+        self.history.append(event)
+        return event
+
+    @property
+    def switch_count(self) -> int:
+        """Number of actual transitions so far."""
+        return sum(
+            1 for event in self.history if event.decision is not SwitchDecision.HOLD
+        )

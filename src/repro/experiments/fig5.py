@@ -1,0 +1,99 @@
+"""Figure 5: relative average response-time reduction vs the baseline.
+
+Six systems x four congestion conditions; each cell is the mean over N
+random 20-application sequences of (baseline mean response / system mean
+response), so higher is better and the Baseline column is 1.0 by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..metrics.report import format_table
+from ..workloads.generator import Condition, WorkloadGenerator
+from .runner import RunResult, SYSTEMS, run_matrix
+
+#: The paper's Fig. 5 values (reduction vs baseline, higher is better).
+PAPER_FIG5: Dict[str, Dict[str, float]] = {
+    "FCFS": {"Loose": 0.81, "Standard": 1.57, "Stress": 1.47, "Real-Time": 1.45},
+    "RR": {"Loose": 0.79, "Standard": 1.80, "Stress": 1.47, "Real-Time": 1.46},
+    "Nimblock": {"Loose": 1.06, "Standard": 6.23, "Stress": 3.04, "Real-Time": 2.91},
+    "VersaSlot-OL": {"Loose": 1.08, "Standard": 8.39, "Stress": 4.13, "Real-Time": 3.84},
+    "VersaSlot-BL": {"Loose": 1.49, "Standard": 13.66, "Stress": 5.23, "Real-Time": 4.76},
+}
+
+#: Conditions in the figure's x-axis order.
+CONDITIONS: Sequence[Condition] = (
+    Condition.LOOSE,
+    Condition.STANDARD,
+    Condition.STRESS,
+    Condition.REAL_TIME,
+)
+
+
+@dataclass
+class Fig5Result:
+    """Reductions per condition per system, plus the raw runs."""
+
+    reductions: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    runs: Dict[str, Dict[str, List[RunResult]]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        labels = [c.label for c in CONDITIONS if c.label in self.reductions]
+        headers = ["system"] + labels + ["paper (Std)"]
+        rows = []
+        for system in SYSTEMS:
+            if system == "Baseline":
+                continue
+            row: List[object] = [system]
+            for label in labels:
+                row.append(self.reductions[label][system])
+            row.append(PAPER_FIG5.get(system, {}).get("Standard", float("nan")))
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title="Fig. 5 — relative avg response-time reduction (higher is better)",
+        )
+
+
+def run_fig5(
+    seed: int = 1,
+    sequence_count: int = 10,
+    n_apps: int = 20,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    systems: Optional[Sequence[str]] = None,
+    conditions: Sequence[Condition] = CONDITIONS,
+) -> Fig5Result:
+    """Regenerate Fig. 5 (and the raw data Fig. 6 reuses)."""
+    result = Fig5Result()
+    chosen = list(systems) if systems else list(SYSTEMS)
+    if "Baseline" not in chosen:
+        chosen = ["Baseline"] + chosen
+    for condition in conditions:
+        sequences = WorkloadGenerator(seed).sequences(
+            condition, count=sequence_count, n_apps=n_apps
+        )
+        matrix = run_matrix(sequences, systems=chosen, params=params)
+        result.runs[condition.label] = matrix
+        reductions: Dict[str, float] = {}
+        baseline_runs = matrix["Baseline"]
+        for system, runs in matrix.items():
+            ratios = [
+                base.responses.mean() / run.responses.mean()
+                for base, run in zip(baseline_runs, runs)
+            ]
+            reductions[system] = sum(ratios) / len(ratios)
+        result.reductions[condition.label] = reductions
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run_fig5(sequence_count=3)
+    print(result.table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,95 @@
+"""Shared experiment harness: run one system over one arrival sequence.
+
+The six evaluated systems (Fig. 5's legend) are registered here with their
+board configurations; every figure module builds on :func:`run_sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.application import reset_instance_ids
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..core.versaslot import VersaSlotBigLittle, VersaSlotOnlyLittle
+from ..fpga.board import FPGABoard
+from ..fpga.slots import BoardConfig
+from ..metrics.response import ResponseStats
+from ..schedulers.base import SchedulerStats
+from ..schedulers.baseline import BaselineScheduler
+from ..schedulers.fcfs import FCFSScheduler
+from ..schedulers.nimblock import NimblockScheduler
+from ..schedulers.round_robin import RoundRobinScheduler
+from ..sim import Engine
+from ..workloads.generator import Arrival, drive
+
+#: Safety horizon: every sequence must drain well before this (ms).
+RUN_HORIZON_MS = 500_000_000.0
+
+#: Evaluated systems in the paper's legend order.
+SYSTEMS: Dict[str, Tuple[Callable, BoardConfig]] = {
+    "Baseline": (BaselineScheduler, BoardConfig.ONLY_LITTLE),
+    "FCFS": (FCFSScheduler, BoardConfig.ONLY_LITTLE),
+    "RR": (RoundRobinScheduler, BoardConfig.ONLY_LITTLE),
+    "Nimblock": (NimblockScheduler, BoardConfig.ONLY_LITTLE),
+    "VersaSlot-OL": (VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE),
+    "VersaSlot-BL": (VersaSlotBigLittle, BoardConfig.BIG_LITTLE),
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (system, sequence) simulation."""
+
+    system: str
+    responses: ResponseStats
+    stats: SchedulerStats
+    makespan_ms: float
+
+
+def run_sequence(
+    system: str,
+    arrivals: Sequence[Arrival],
+    params: SystemParameters = DEFAULT_PARAMETERS,
+) -> RunResult:
+    """Simulate ``system`` serving ``arrivals`` on a fresh board."""
+    try:
+        scheduler_cls, config = SYSTEMS[system]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {system!r}; available: {', '.join(SYSTEMS)}"
+        ) from None
+    reset_instance_ids()
+    engine = Engine()
+    board = FPGABoard(engine, config, params, name="eval")
+    scheduler = scheduler_cls(board, params)
+    engine.process(drive(engine, scheduler, arrivals))
+    engine.run(until=RUN_HORIZON_MS)
+    stats: SchedulerStats = scheduler.stats
+    if stats.completions != len(arrivals):
+        raise RuntimeError(
+            f"{system} finished {stats.completions}/{len(arrivals)} apps — "
+            "the simulation did not drain"
+        )
+    responses = ResponseStats()
+    responses.extend(stats.response_times_ms())
+    return RunResult(
+        system=system,
+        responses=responses,
+        stats=stats,
+        makespan_ms=engine.now,
+    )
+
+
+def run_matrix(
+    sequences: Sequence[Sequence[Arrival]],
+    systems: Optional[Sequence[str]] = None,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+) -> Dict[str, List[RunResult]]:
+    """Run every system over every sequence; keyed by system name."""
+    chosen = list(systems) if systems else list(SYSTEMS)
+    results: Dict[str, List[RunResult]] = {name: [] for name in chosen}
+    for arrivals in sequences:
+        for name in chosen:
+            results[name].append(run_sequence(name, arrivals, params))
+    return results

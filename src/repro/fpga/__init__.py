@@ -1,0 +1,29 @@
+"""Simulated FPGA hardware substrate (PS, PCAP, slots, links)."""
+
+from .bitstream import Bitstream, BitstreamLibrary, SlotKind
+from .board import FPGABoard, connect_boards
+from .cpu import Core, ProcessingSystem
+from .interconnect import AuroraLink
+from .pcap import PCAP, PRVerificationError
+from .resvec import ResourceVector
+from .slots import BoardConfig, Slot, SlotOccupancy, SlotState, build_slots, fabric_capacity
+
+__all__ = [
+    "AuroraLink",
+    "Bitstream",
+    "BitstreamLibrary",
+    "BoardConfig",
+    "Core",
+    "FPGABoard",
+    "PCAP",
+    "PRVerificationError",
+    "ProcessingSystem",
+    "ResourceVector",
+    "Slot",
+    "SlotKind",
+    "SlotOccupancy",
+    "SlotState",
+    "build_slots",
+    "connect_boards",
+    "fabric_capacity",
+]

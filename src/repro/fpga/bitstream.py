@@ -1,0 +1,112 @@
+"""Bitstream records and the on-board SD-card bitstream library.
+
+The paper's offline flow synthesizes, for every task, a partial bitstream
+*per compatible slot shape* ("the automated script generates partial
+bitstreams for each task adaptive to each slot") and stores them on the SD
+card.  The PR server later copies a bitstream from SD to DDR and hands it to
+the PCAP.  We model bitstreams as sized records; load latency is derived
+from the size by :class:`~repro.config.SystemParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..config import SystemParameters
+
+
+class SlotKind(Enum):
+    """The two reconfigurable-slot shapes of the Big.Little architecture."""
+
+    LITTLE = "little"
+    BIG = "big"
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A pre-generated partial (or full) bitstream."""
+
+    #: Human-readable identity, e.g. ``"IC/t0@little"``.
+    name: str
+    #: Payload size in MB; determines PCAP load latency.
+    size_mb: float
+    #: Which slot shape the bitstream targets (None = full fabric).
+    kind: Optional[SlotKind]
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(f"bitstream size must be positive: {self}")
+
+    def load_time_ms(self, params: SystemParameters) -> float:
+        """PCAP latency to load this bitstream."""
+        return params.pr_time_ms(self.size_mb)
+
+
+class BitstreamLibrary:
+    """The SD-card store of pre-generated bitstreams on one board.
+
+    Keys are ``(payload_name, kind)`` where the payload is a task or a
+    3-in-1 bundle.  Cross-board pre-warming stages a remote board's library
+    before migration; :meth:`stage` models that copy.
+    """
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+        self._streams: Dict[Tuple[str, SlotKind], Bitstream] = {}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def register(self, payload_name: str, kind: SlotKind, size_mb: Optional[float] = None) -> Bitstream:
+        """Create (or return the existing) bitstream for a payload/shape pair.
+
+        ``size_mb`` defaults to the platform's nominal partial-bitstream
+        size for the slot shape — partial bitstream size is set by the
+        reconfigurable region, not by the logic inside it.
+        """
+        key = (payload_name, kind)
+        if key in self._streams:
+            return self._streams[key]
+        if size_mb is None:
+            size_mb = (
+                self.params.big_bitstream_mb
+                if kind is SlotKind.BIG
+                else self.params.little_bitstream_mb
+            )
+        stream = Bitstream(f"{payload_name}@{kind.value}", size_mb, kind)
+        self._streams[key] = stream
+        return stream
+
+    def lookup(self, payload_name: str, kind: SlotKind) -> Bitstream:
+        """The bitstream for ``payload_name`` targeting ``kind`` slots."""
+        try:
+            return self._streams[(payload_name, kind)]
+        except KeyError:
+            raise KeyError(
+                f"no bitstream for {payload_name!r} targeting {kind.value} slots; "
+                "was the offline flow run for this application?"
+            ) from None
+
+    def contains(self, payload_name: str, kind: SlotKind) -> bool:
+        """True if the library holds a bitstream for the payload/shape."""
+        return (payload_name, kind) in self._streams
+
+    def stage(self, other: "BitstreamLibrary") -> int:
+        """Copy every bitstream from ``other`` (pre-warming); returns count copied."""
+        copied = 0
+        for key, stream in other._streams.items():
+            if key not in self._streams:
+                self._streams[key] = stream
+                copied += 1
+        return copied
+
+    def full_fabric(self, payload_name: str) -> Bitstream:
+        """A full-fabric bitstream (Baseline exclusive multiplexing)."""
+        key = (payload_name, None)  # type: ignore[arg-type]
+        if key not in self._streams:
+            self._streams[key] = Bitstream(  # type: ignore[index]
+                f"{payload_name}@full", self.params.full_bitstream_mb, None
+            )
+        return self._streams[key]  # type: ignore[index]

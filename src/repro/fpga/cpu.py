@@ -1,0 +1,58 @@
+"""Processing-System CPU model.
+
+The VersaSlot hypervisor runs bare-metal on the ARM cores of the ZynqMP PS.
+The paper's central *task execution blocking* problem is a CPU-occupancy
+effect: the PCAP suspends the core that issued a bitstream load, so on a
+single-core scheduler the load also blocks task launching.  We therefore
+model each core as a unit-capacity FIFO :class:`~repro.sim.Resource` — any
+hypervisor action (scheduling pass, batch launch, PR issue) must hold a core
+for its duration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import Engine, Resource
+
+
+class Core(Resource):
+    """One ARM core of the PS, usable by one hypervisor activity at a time."""
+
+    def __init__(self, engine: Engine, index: int) -> None:
+        super().__init__(engine, capacity=1, name=f"core{index}")
+        self.index = index
+
+
+class ProcessingSystem:
+    """The PS side of a board: a small set of ARM cores.
+
+    ``core(0)`` conventionally runs the scheduler; ``core(1)`` runs the
+    dedicated PR server when dual-core scheduling is enabled.
+    """
+
+    def __init__(self, engine: Engine, core_count: int = 2) -> None:
+        if core_count < 1:
+            raise ValueError(f"need at least one core, got {core_count}")
+        self.engine = engine
+        self.cores: List[Core] = [Core(engine, i) for i in range(core_count)]
+
+    def core(self, index: int) -> Core:
+        """The core at ``index``."""
+        return self.cores[index]
+
+    @property
+    def scheduler_core(self) -> Core:
+        """The core hosting the scheduler loop (core 0)."""
+        return self.cores[0]
+
+    def pr_core(self, dual_core: bool) -> Core:
+        """The core that executes PR loads.
+
+        Dual-core systems dedicate core 1 to the PR server; single-core
+        systems issue PR from the scheduler core, which is exactly what
+        causes the blocking the paper analyses.
+        """
+        if dual_core and len(self.cores) > 1:
+            return self.cores[1]
+        return self.cores[0]

@@ -1,0 +1,117 @@
+"""The Processor Configuration Access Port (PCAP).
+
+The PCAP is the serial choke point at the heart of the paper: it loads one
+partial bitstream at a time and *suspends the issuing CPU core* until the
+load completes.  Both properties are modelled directly:
+
+* serialization — a unit-capacity FIFO mutex guards the port;
+* CPU suspension — :meth:`PCAP.load` is a process fragment executed while
+  the caller holds a :class:`~repro.fpga.cpu.Core`, so the core stays busy
+  for the queueing delay plus the transfer.
+
+The port keeps the contention statistics (`loads`, `contended_loads`,
+`total_wait_ms`) that feed the ``D_switch`` metric and the evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from ..config import SystemParameters
+from ..sim import Engine, Resource
+from .bitstream import Bitstream
+
+
+class PRVerificationError(RuntimeError):
+    """A partial bitstream repeatedly failed DFX verification."""
+
+
+class PCAP:
+    """Serial partial-reconfiguration port of one board.
+
+    DFX requires confirming that a partial bitstream loaded successfully;
+    ``params.pr_failure_rate`` injects verification failures, each costing
+    a full re-transfer (the fault-injection tests use this — real loads
+    default to ideal hardware).
+    """
+
+    def __init__(self, engine: Engine, params: SystemParameters, seed: int = 0) -> None:
+        self.engine = engine
+        self.params = params
+        self._port = Resource(engine, capacity=1, name="pcap")
+        self._verify_rng = random.Random(f"pcap-verify/{seed}")
+        #: Completed load count.
+        self.loads = 0
+        #: Loads that had to queue behind another load.
+        self.contended_loads = 0
+        #: Verification failures that forced a re-transfer.
+        self.verification_retries = 0
+        #: Total time loads spent queued (ms).
+        self.total_wait_ms = 0.0
+        #: Total time the port spent transferring (ms).
+        self.total_transfer_ms = 0.0
+        self._wait_log: List[float] = []
+
+    @property
+    def busy(self) -> bool:
+        """True while a bitstream transfer is in flight."""
+        return self._port.in_use > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of loads waiting behind the current transfer."""
+        return self._port.queue_length
+
+    def load(self, bitstream: Bitstream) -> Generator:
+        """Process fragment: load ``bitstream`` through the port.
+
+        The caller must already hold the CPU core issuing the load; the
+        core remains held (suspended, in hardware terms) for the full
+        duration.  Yields the queueing wait plus the transfer time and
+        returns the wait experienced (ms), which the schedulers use for
+        blocked-task accounting.
+        """
+        arrival = self.engine.now
+        contended = self.busy or self._port.queue_length > 0
+        request = self._port.acquire()
+        yield request
+        wait = self.engine.now - arrival
+        transfer = bitstream.load_time_ms(self.params)
+        spent = 0.0
+        try:
+            for attempt in range(self.params.pr_max_retries + 1):
+                yield self.engine.timeout(transfer)
+                spent += transfer
+                if (
+                    self.params.pr_failure_rate <= 0.0
+                    or self._verify_rng.random() >= self.params.pr_failure_rate
+                ):
+                    break
+                self.verification_retries += 1
+            else:
+                raise PRVerificationError(
+                    f"bitstream {bitstream.name!r} failed verification "
+                    f"{self.params.pr_max_retries + 1} times"
+                )
+        finally:
+            self._port.release()
+            self.loads += 1
+            self.total_transfer_ms += spent
+            self.total_wait_ms += wait
+            self._wait_log.append(wait)
+            if contended or wait > 0:
+                self.contended_loads += 1
+        return wait
+
+    def mean_wait_ms(self) -> float:
+        """Mean queueing delay per completed load."""
+        if not self._wait_log:
+            return 0.0
+        return sum(self._wait_log) / len(self._wait_log)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the port spent transferring."""
+        if self.engine.now <= 0:
+            return 0.0
+        return self.total_transfer_ms / self.engine.now

@@ -1,0 +1,63 @@
+"""Fabric resource vectors.
+
+A :class:`ResourceVector` carries LUT and FF quantities.  Throughout the
+reproduction, quantities are *normalized to one Little slot*: a Little slot
+has capacity ``(1.0, 1.0)``, a Big slot ``(2.0, 2.0)``, and a task that
+consumes 57 % of a Little slot's LUTs has usage ``lut=0.57``.  This mirrors
+how the paper reports utilization (fractions of slot capacity) and keeps the
+allocator unit-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUT/FF quantities, normalized to one Little slot."""
+
+    lut: float
+    ff: float
+
+    def __post_init__(self) -> None:
+        if self.lut < 0 or self.ff < 0:
+            raise ValueError(f"resource quantities must be non-negative: {self}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self.lut + other.lut, self.ff + other.ff)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self.lut - other.lut, self.ff - other.ff)
+
+    def scale(self, factor: float) -> "ResourceVector":
+        """Component-wise multiplication by ``factor``."""
+        return ResourceVector(self.lut * factor, self.ff * factor)
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True if this usage fits inside ``capacity`` on every component."""
+        return self.lut <= capacity.lut + 1e-9 and self.ff <= capacity.ff + 1e-9
+
+    def fraction_of(self, capacity: "ResourceVector") -> "ResourceVector":
+        """Component-wise utilization fraction relative to ``capacity``."""
+        if capacity.lut <= 0 or capacity.ff <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        return ResourceVector(self.lut / capacity.lut, self.ff / capacity.ff)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.lut
+        yield self.ff
+
+    @staticmethod
+    def zero() -> "ResourceVector":
+        """The empty usage vector."""
+        return ResourceVector(0.0, 0.0)
+
+    @staticmethod
+    def total(vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        """Component-wise sum of ``vectors``."""
+        acc = ResourceVector.zero()
+        for vector in vectors:
+            acc = acc + vector
+        return acc

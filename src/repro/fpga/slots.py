@@ -1,0 +1,139 @@
+"""Reconfigurable slots and board slot configurations.
+
+The PL fabric is split into a static region (interfaces, fixed at start-up)
+and partial-reconfigurable slots.  VersaSlot's contribution is the
+heterogeneous *Big.Little* layout: Big slots hold a 3-in-1 bundled task and
+have twice the capacity of a Little slot.  A board is configured as either
+``BIG_LITTLE`` (2 Big + 4 Little) or ``ONLY_LITTLE`` (8 Little); changing
+the configuration requires a different static region, i.e. a different
+board — hence cross-board switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+from ..config import SystemParameters
+from ..sim import Engine
+from .bitstream import SlotKind
+from .resvec import ResourceVector
+
+
+class SlotState(Enum):
+    """Lifecycle of a reconfigurable slot."""
+
+    IDLE = "idle"
+    RECONFIGURING = "reconfiguring"
+    LOADED = "loaded"
+
+
+class BoardConfig(Enum):
+    """Named static-region layouts from the paper."""
+
+    ONLY_LITTLE = "only_little"
+    BIG_LITTLE = "big_little"
+
+
+@dataclass(frozen=True)
+class SlotOccupancy:
+    """What a slot currently hosts (for utilization accounting)."""
+
+    payload_name: str
+    app_id: int
+    usage: ResourceVector
+
+
+class Slot:
+    """One reconfigurable region.
+
+    State transitions are validated so scheduler bugs surface as errors
+    rather than silent double-bookings.  ``observers`` are called on every
+    load/unload with ``(slot, occupancy_or_None)`` — the utilization tracker
+    hooks in there.
+    """
+
+    def __init__(self, engine: Engine, index: int, kind: SlotKind, capacity: ResourceVector) -> None:
+        self.engine = engine
+        self.index = index
+        self.kind = kind
+        self.capacity = capacity
+        self.state = SlotState.IDLE
+        self.occupancy: Optional[SlotOccupancy] = None
+        self.observers: List[Callable[["Slot", Optional[SlotOccupancy]], None]] = []
+        #: Number of completed reconfigurations of this slot.
+        self.reconfigurations = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}{self.index}"
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is SlotState.IDLE
+
+    def begin_reconfiguration(self) -> None:
+        """Mark the slot as being reprogrammed (DFX decoupler engaged)."""
+        if self.state is SlotState.RECONFIGURING:
+            raise RuntimeError(f"slot {self.name} is already reconfiguring")
+        self._notify(None)
+        self.occupancy = None
+        self.state = SlotState.RECONFIGURING
+
+    def complete_reconfiguration(self, occupancy: SlotOccupancy) -> None:
+        """Install the new payload after the PCAP finished loading."""
+        if self.state is not SlotState.RECONFIGURING:
+            raise RuntimeError(f"slot {self.name} completed PR while {self.state.value}")
+        if not occupancy.usage.fits_within(self.capacity):
+            raise ValueError(
+                f"payload {occupancy.payload_name!r} usage {occupancy.usage} "
+                f"exceeds {self.name} capacity {self.capacity}"
+            )
+        self.occupancy = occupancy
+        self.state = SlotState.LOADED
+        self.reconfigurations += 1
+        self._notify(occupancy)
+
+    def release(self) -> None:
+        """Free the slot (payload finished or was preempted/migrated)."""
+        if self.state is SlotState.IDLE:
+            raise RuntimeError(f"slot {self.name} released while idle")
+        self._notify(None)
+        self.occupancy = None
+        self.state = SlotState.IDLE
+
+    def _notify(self, occupancy: Optional[SlotOccupancy]) -> None:
+        for observer in self.observers:
+            observer(self, occupancy)
+
+    def __repr__(self) -> str:
+        payload = self.occupancy.payload_name if self.occupancy else "-"
+        return f"<Slot {self.name} {self.state.value} payload={payload}>"
+
+
+def build_slots(engine: Engine, config: BoardConfig, params: SystemParameters) -> List[Slot]:
+    """Instantiate the slot list for a board configuration.
+
+    Little slots have normalized capacity (1, 1); Big slots are scaled by
+    ``params.big_slot_scale`` (the paper fixes the ratio at 2x).
+    """
+    little_cap = ResourceVector(1.0, 1.0)
+    big_cap = little_cap.scale(params.big_slot_scale)
+    slots: List[Slot] = []
+    if config is BoardConfig.BIG_LITTLE:
+        for i in range(params.big_little_big_slots):
+            slots.append(Slot(engine, i, SlotKind.BIG, big_cap))
+        for i in range(params.big_little_little_slots):
+            slots.append(Slot(engine, i, SlotKind.LITTLE, little_cap))
+    elif config is BoardConfig.ONLY_LITTLE:
+        for i in range(params.only_little_slots):
+            slots.append(Slot(engine, i, SlotKind.LITTLE, little_cap))
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown board configuration {config}")
+    return slots
+
+
+def fabric_capacity(slots: List[Slot]) -> ResourceVector:
+    """Total reconfigurable capacity across ``slots``."""
+    return ResourceVector.total(slot.capacity for slot in slots)

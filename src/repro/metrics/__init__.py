@@ -1,0 +1,30 @@
+"""Metrics: response times, tail latency, utilization, reporting."""
+
+from .response import (
+    ResponseStats,
+    geometric_mean,
+    relative_reduction,
+    relative_tail,
+    summarize_runs,
+)
+from .plots import bar_chart, grouped_bar_chart, trace_plot
+from .report import format_series, format_table, sparkline
+from .utilization import BundlingGain, UtilizationTracker, bundling_gain, ic_detail
+
+__all__ = [
+    "BundlingGain",
+    "bar_chart",
+    "grouped_bar_chart",
+    "trace_plot",
+    "ResponseStats",
+    "UtilizationTracker",
+    "bundling_gain",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "ic_detail",
+    "relative_reduction",
+    "relative_tail",
+    "sparkline",
+    "summarize_runs",
+]

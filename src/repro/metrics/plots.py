@@ -1,0 +1,108 @@
+"""ASCII plotting for figure series.
+
+Terminal-friendly renderings of the paper's figures: grouped horizontal
+bar charts (Figs. 5, 6, 8-right) and metric traces (Fig. 8-left).  Used by
+the examples and handy when inspecting experiment results over SSH.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: Glyph used for bar bodies.
+BAR_GLYPH = "█"
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    reference: Optional[Mapping[str, float]] = None,
+    unit: str = "x",
+) -> str:
+    """Render a horizontal bar chart of ``label -> value``.
+
+    ``reference`` values (e.g. the paper's numbers) are annotated after
+    each bar.  Bars are scaled to the largest value.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8:
+        raise ValueError(f"width too small: {width}")
+    peak = max(series.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_width = max(len(label) for label in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in series.items():
+        bar = BAR_GLYPH * max(1, round(value / peak * width)) if value > 0 else ""
+        line = f"{label:<{label_width}}  {bar} {value:.2f}{unit}"
+        if reference and label in reference:
+            line += f"  (paper: {reference[label]:.2f}{unit})"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "x",
+) -> str:
+    """Render grouped bars: ``group -> (label -> value)`` (Fig. 5 layout)."""
+    if not groups:
+        raise ValueError("nothing to plot")
+    peak = max(value for group in groups.values() for value in group.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_width = max(len(label) for group in groups.values() for label in group)
+    lines = []
+    if title:
+        lines.append(title)
+    for group_name, group in groups.items():
+        lines.append(f"[{group_name}]")
+        for label, value in group.items():
+            bar = BAR_GLYPH * max(1, round(value / peak * width)) if value > 0 else ""
+            lines.append(f"  {label:<{label_width}}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def trace_plot(
+    values: Sequence[float],
+    height: int = 8,
+    width: int = 70,
+    title: Optional[str] = None,
+    thresholds: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a metric trace as a block plot with threshold rulers.
+
+    Used for the Fig. 8 D_switch trajectory; ``thresholds`` draws labelled
+    horizontal markers (e.g. T1/T2).
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    if height < 2 or width < 10:
+        raise ValueError("plot area too small")
+    lo = 0.0
+    hi = max(list(values) + list((thresholds or {}).values())) * 1.05 or 1.0
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    columns = [round((v - lo) / (hi - lo) * (height - 1)) for v in values]
+    threshold_rows = {
+        round((t - lo) / (hi - lo) * (height - 1)): name
+        for name, t in (thresholds or {}).items()
+        if lo <= t <= hi
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height - 1, -1, -1):
+        marker = threshold_rows.get(row)
+        body = "".join("#" if c >= row else ("-" if marker else " ") for c in columns)
+        suffix = f" <- {marker}" if marker else ""
+        lines.append(f"{hi * row / (height - 1):7.3f} |{body}{suffix}")
+    lines.append(" " * 8 + "+" + "-" * len(columns))
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""ASCII reporting helpers for experiment tables and figure series.
+
+Every experiment prints its results through these helpers, so the bench
+output lines up visually with the paper's tables/figures and EXPERIMENTS.md
+can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple fixed-width table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells[1:]:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    pairs: Mapping[str, float],
+    reference: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render one figure series, optionally next to the paper's values."""
+    lines = [name]
+    for key, value in pairs.items():
+        line = f"  {key:<14s} {value:8.2f}"
+        if reference and key in reference:
+            line += f"   (paper: {reference[key]:.2f})"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse ASCII sparkline for metric traces (e.g. D_switch)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    return "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

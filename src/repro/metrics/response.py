@@ -1,0 +1,88 @@
+"""Response-time statistics (Figs. 5 and 6).
+
+Response time of an application is completion minus arrival.  The paper
+reports *relative response-time reduction* (baseline mean over system
+mean, higher is better) and *relative tail latency* (system percentile
+over baseline percentile, lower is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ResponseStats:
+    """Summary statistics of one run's response times."""
+
+    samples_ms: List[float] = field(default_factory=list)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            if value < 0:
+                raise ValueError(f"negative response time {value}")
+            self.samples_ms.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ms)
+
+    def mean(self) -> float:
+        self._require_samples()
+        return float(np.mean(self.samples_ms))
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100])."""
+        self._require_samples()
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.samples_ms, q))
+
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def _require_samples(self) -> None:
+        if not self.samples_ms:
+            raise ValueError("no response samples recorded")
+
+
+def relative_reduction(baseline: ResponseStats, system: ResponseStats) -> float:
+    """Fig. 5 metric: baseline mean / system mean (higher is better)."""
+    return baseline.mean() / system.mean()
+
+
+def relative_tail(baseline: ResponseStats, system: ResponseStats, q: float) -> float:
+    """Fig. 6 metric: system percentile / baseline percentile (lower is better)."""
+    return system.percentile(q) / baseline.percentile(q)
+
+
+def summarize_runs(runs: Sequence[ResponseStats]) -> Dict[str, float]:
+    """Aggregate a set of per-sequence stats into one summary dict."""
+    if not runs:
+        raise ValueError("no runs to summarize")
+    means = [run.mean() for run in runs]
+    p95s = [run.p95() for run in runs]
+    p99s = [run.p99() for run in runs]
+    return {
+        "mean_ms": float(np.mean(means)),
+        "p95_ms": float(np.mean(p95s)),
+        "p99_ms": float(np.mean(p99s)),
+        "runs": float(len(runs)),
+        "samples": float(sum(run.count for run in runs)),
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional aggregate for speedup ratios."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

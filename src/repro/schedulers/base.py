@@ -1,0 +1,524 @@
+"""Scheduler skeleton shared by all spatio-temporal sharing systems.
+
+:class:`OnBoardScheduler` implements everything that is *mechanism* rather
+than *policy*: the wake-driven scheduler loop on core 0, PR dispatch (inline
+single-core or via the dedicated dual-core PR server), the launch gate,
+cooperative preemption, slot bookkeeping, statistics, and the hooks used by
+the cluster layer (intake control, waiting-app extraction for migration).
+
+Concrete schedulers (FCFS, RR, Nimblock, VersaSlot) provide the
+:meth:`OnBoardScheduler.allocate` policy and, where relevant, preemption
+and bundling policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple
+
+from ..apps.application import ApplicationInstance, BundleSpec
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fpga.bitstream import Bitstream, SlotKind
+from ..fpga.board import FPGABoard
+from ..fpga.slots import Slot
+from ..sim import Engine, Event, Store, Tracer, NULL_TRACER
+from .runtime import AppRun, BundleRun, Payload, TaskRun, occupancy_for
+
+#: Numeric tolerance when deciding whether a wait counts as blocking.
+BLOCK_EPSILON_MS = 1e-6
+
+
+@dataclass
+class ResponseRecord:
+    """Response time of one completed application."""
+
+    inst: ApplicationInstance
+    finish_time: float
+
+    @property
+    def response_ms(self) -> float:
+        return self.finish_time - self.inst.arrival_time
+
+
+@dataclass
+class SchedulerStats:
+    """Counters every scheduler maintains; consumed by metrics and D_switch."""
+
+    arrivals: int = 0
+    completions: int = 0
+    pr_count: int = 0
+    pr_blocked: int = 0
+    pr_wait_ms: float = 0.0
+    launches: int = 0
+    launch_blocked: int = 0
+    launch_wait_ms: float = 0.0
+    preemptions: int = 0
+    migrations_out: int = 0
+    #: Windowed counters, reset by the contention monitor (D_switch).
+    window_pr: int = 0
+    window_blocked: int = 0
+    responses: List[ResponseRecord] = field(default_factory=list)
+
+    def note_pr(self, queue_wait_ms: float, cross_app: bool = True) -> None:
+        """Record a completed PR; only *cross-application* waits count as
+        blocking (an app queueing behind its own preloads is pipeline
+        fill, not the contention of Fig. 2)."""
+        self.pr_count += 1
+        self.window_pr += 1
+        self.pr_wait_ms += queue_wait_ms
+        if queue_wait_ms > BLOCK_EPSILON_MS and cross_app:
+            self.pr_blocked += 1
+            self.window_blocked += 1
+
+    def note_launch(self, wait_ms: float, pr_in_flight: bool) -> None:
+        self.launches += 1
+        self.launch_wait_ms += wait_ms
+        if wait_ms > BLOCK_EPSILON_MS and pr_in_flight:
+            self.launch_blocked += 1
+            self.window_blocked += 1
+
+    def reset_window(self) -> Tuple[int, int]:
+        """Return and clear the (PR, blocked) window counters."""
+        window = (self.window_pr, self.window_blocked)
+        self.window_pr = 0
+        self.window_blocked = 0
+        return window
+
+    def response_times_ms(self) -> List[float]:
+        return [record.response_ms for record in self.responses]
+
+
+@dataclass
+class PRPlan:
+    """A planned partial reconfiguration, queued for the PCAP."""
+
+    app_run: AppRun
+    payload: Payload
+    slot: Slot
+    bitstream: Bitstream
+    posted_at: float
+    serial_bundle: bool = False
+    #: Will this load queue behind another application's load?
+    cross_app: bool = False
+
+
+class OnBoardScheduler:
+    """Base class for all slot-based (spatio-temporal) schedulers."""
+
+    #: Human-readable system name, overridden by subclasses.
+    name = "abstract"
+
+    #: Pipeline-aware systems overlap batch items across slots; naive
+    #: systems (FCFS, RR) only start a stage after its upstream batch.
+    item_pipelining = True
+
+    #: Granularity of cross-slot streaming: 1 = per-item credits
+    #: (pipeline-aware systems); naive systems double-buffer coarse chunks
+    #: through DDR, so a stage only sees upstream data chunk by chunk.
+    pipeline_chunk_items = 1
+
+    def __init__(
+        self,
+        board: FPGABoard,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        dual_core: bool = False,
+        preemption: bool = False,
+        preemption_quantum_ms: float = 400.0,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.board = board
+        self.engine: Engine = board.engine
+        self.params = params
+        self.dual_core = dual_core
+        self.preemption = preemption
+        self.preemption_quantum_ms = preemption_quantum_ms
+        self.tracer = tracer
+        self.stats = SchedulerStats()
+        # Policy state (names follow the paper's Algorithm 1).
+        self.c_wait: List[AppRun] = []
+        self.s_big: List[AppRun] = []
+        self.s_little: List[AppRun] = []
+        #: All live app runs, in arrival order (the runnable queue).
+        self.apps: List[AppRun] = []
+        self.intake_open = True
+        self._wake_pending = False
+        self._wake_event: Optional[Event] = None
+        self._pr_inflight = 0
+        self._inflight_app: Optional[AppRun] = None
+        self._last_preempt_ms = -1e12
+        #: Fired by the cluster layer on submit/finish (candidate updates).
+        self.candidate_listeners: List[Callable[["OnBoardScheduler"], None]] = []
+        self.finish_listeners: List[Callable[["OnBoardScheduler", AppRun], None]] = []
+        self.pr_queue: Store = Store(self.engine, name=f"{board.name}-pr")
+        self.engine.process(self._scheduler_loop())
+        if self.dual_core:
+            self.engine.process(self._pr_server_loop())
+
+    # ------------------------------------------------------------------
+    # Public interface (workload driver / cluster layer)
+    # ------------------------------------------------------------------
+    def submit(self, inst: ApplicationInstance) -> AppRun:
+        """Accept a newly arrived application."""
+        if not self.intake_open:
+            raise RuntimeError(f"{self.board.name} intake is closed (migrating)")
+        app_run = AppRun(self, inst)
+        self.apps.append(app_run)
+        self.c_wait.append(app_run)
+        self.stats.arrivals += 1
+        self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
+        self._notify_candidates()
+        self.kick()
+        return app_run
+
+    def active_apps(self) -> List[AppRun]:
+        """Applications submitted here and not yet finished or migrated."""
+        return [app for app in self.apps if not app.finished]
+
+    @property
+    def is_drained(self) -> bool:
+        """True when no submitted application remains unfinished."""
+        return not self.active_apps()
+
+    def close_intake(self) -> None:
+        """Stop accepting new applications (cross-board switching)."""
+        self.intake_open = False
+
+    def open_intake(self) -> None:
+        self.intake_open = True
+
+    def extract_waiting_apps(self) -> List[ApplicationInstance]:
+        """Remove and return apps that have not started executing.
+
+        Used by live migration: apps whose PR never began can move to the
+        new board wholesale; started apps drain on this board (the paper
+        lets ongoing tasks run to completion to avoid bitstream reloads).
+        """
+        movable = [
+            app
+            for app in self.active_apps()
+            if not app.started and not app.pending_pr and not app.loaded
+        ]
+        for app in movable:
+            app.frozen = True
+            self.apps.remove(app)
+            for queue in (self.c_wait, self.s_big, self.s_little):
+                if app in queue:
+                    queue.remove(app)
+            self.stats.migrations_out += 1
+        if movable:
+            self._notify_candidates()
+        return [app.inst for app in movable]
+
+    def kick(self) -> None:
+        """Request a scheduler pass (idempotent within a time step)."""
+        self._wake_pending = True
+        if self._wake_event is not None and not self._wake_event.triggered:
+            self._wake_event.succeed()
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def allocate(self) -> None:
+        """Update ``alloc_big``/``alloc_little`` of live apps (policy)."""
+        raise NotImplementedError
+
+    def choose_serial_bundle(self, app_run: AppRun, bundle: BundleSpec) -> bool:
+        """Pick the bundle execution mode; overridden by VersaSlot."""
+        return False
+
+    def maybe_preempt(self) -> None:
+        """Preemption policy; default reclaims Little slots for waiters."""
+        if not self.preemption:
+            return
+        self.preempt_little_for_waiters()
+
+    # ------------------------------------------------------------------
+    # Shared preemption helper
+    # ------------------------------------------------------------------
+    def preempt_little_for_waiters(self) -> None:
+        """Reclaim one Little slot when arrivals are starved.
+
+        Mirrors Nimblock's preemption: when applications wait and no Little
+        slot is idle, the app holding the most Little slots vacates its
+        highest-index task at the next item boundary.  The lowest loaded
+        index is never preempted, so every app keeps making progress and
+        the system stays deadlock-free.  A quantum bounds thrashing.
+        """
+        if not self.c_wait:
+            return
+        if self.board.idle_slot(SlotKind.LITTLE) is not None:
+            return
+        if self.engine.now - self._last_preempt_ms < self.preemption_quantum_ms:
+            return
+        candidates = [app for app in self.s_little if app.used_little > 1]
+        if not candidates:
+            return
+        victim_app = max(candidates, key=lambda app: (app.used_little, app.inst.app_id))
+        runs = [
+            run
+            for run in victim_app.loaded.values()
+            if isinstance(run, TaskRun) and not run.preempt_requested
+        ]
+        if len(runs) < 2:
+            return
+        victim_run = max(runs, key=lambda run: run.task.index)
+        victim_run.request_preempt()
+        self._last_preempt_ms = self.engine.now
+        self.tracer.emit(
+            self.engine.now,
+            "preempt",
+            app=victim_app.inst.name,
+            task=victim_run.task.name,
+        )
+
+    # ------------------------------------------------------------------
+    # The scheduler loop (core 0)
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> Generator:
+        while True:
+            if not self._wake_pending:
+                self._wake_event = self.engine.event()
+                yield self._wake_event
+                self._wake_event = None
+            self._wake_pending = False
+            yield from self._pass()
+
+    def _pass(self) -> Generator:
+        core = self.board.ps.scheduler_core
+        request = core.acquire()
+        yield request
+        yield self.engine.timeout(self.params.scheduler_action_ms)
+        core.release()
+        self.maybe_preempt()
+        self.allocate()
+        plans = self.plan_dispatch()
+        self._mark_cross_app(plans)
+        if self.dual_core:
+            for plan in plans:
+                self.pr_queue.put(plan)
+        else:
+            for plan in plans:
+                yield from self._inline_pr(plan)
+
+    def _inline_pr(self, plan: PRPlan) -> Generator:
+        """Single-core PR: the scheduler core is suspended during the load."""
+        core = self.board.ps.scheduler_core
+        request = core.acquire()
+        yield request
+        self._pr_inflight += 1
+        self._inflight_app = plan.app_run
+        try:
+            yield from self.board.pcap.load(plan.bitstream)
+        finally:
+            self._pr_inflight -= 1
+            self._inflight_app = None
+            core.release()
+        self._complete_pr(plan)
+
+    def _pr_server_loop(self) -> Generator:
+        """Dedicated PR server on core 1 (VersaSlot's dual-core design)."""
+        core = self.board.ps.pr_core(dual_core=True)
+        while True:
+            plan = yield self.pr_queue.get()
+            request = core.acquire()
+            yield request
+            self._pr_inflight += 1
+            self._inflight_app = plan.app_run
+            try:
+                yield from self.board.pcap.load(plan.bitstream)
+            finally:
+                self._pr_inflight -= 1
+                self._inflight_app = None
+                core.release()
+            self._complete_pr(plan)
+
+    def _mark_cross_app(self, plans: List[PRPlan]) -> None:
+        """Flag plans that will queue behind another application's PR."""
+        for index, plan in enumerate(plans):
+            plan.cross_app = (
+                (self._inflight_app is not None and self._inflight_app is not plan.app_run)
+                or any(q.app_run is not plan.app_run for q in self.pr_queue.items())
+                or any(p.app_run is not plan.app_run for p in plans[:index])
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def dispatch_order(self) -> List[AppRun]:
+        """Apps considered for PR dispatch, oldest arrival first."""
+        return [app for app in self.apps if not app.finished and not app.frozen]
+
+    def plan_dispatch(self) -> List[PRPlan]:
+        """Turn allocations into concrete PR plans against idle slots."""
+        plans: List[PRPlan] = []
+        for app in self.dispatch_order():
+            if app.in_big:
+                plans.extend(self._plan_for_kind(app, SlotKind.BIG))
+            else:
+                plans.extend(self._plan_for_kind(app, SlotKind.LITTLE))
+        return plans
+
+    def _plan_for_kind(self, app: AppRun, kind: SlotKind) -> List[PRPlan]:
+        plans: List[PRPlan] = []
+        while True:
+            if kind is SlotKind.BIG:
+                if app.used_big >= app.alloc_big:
+                    break
+                payloads: List[Payload] = list(app.next_big_payloads())
+            else:
+                if app.used_little >= app.alloc_little:
+                    self._rotate_for_reload(app)
+                    break
+                payloads = list(app.next_little_payloads())
+            if not payloads:
+                break
+            slot = self.board.idle_slot(kind)
+            if slot is None:
+                break
+            plans.append(self._make_plan(app, payloads[0], slot))
+        return plans
+
+    def _rotate_for_reload(self, app: AppRun) -> None:
+        """Self-rotation: displace the highest stage for a missing lower one.
+
+        If a preempted pipeline stage must be reloaded but the app has no
+        allocation headroom (``used == alloc``), every loaded downstream
+        stage is starved on the missing one.  Vacating the highest-index
+        run makes room; the dispatch guard then reloads the missing stage
+        first.  Without this, the app livelocks until the board drains.
+        """
+        payloads = app.next_little_payloads()
+        if not payloads:
+            return
+        runs = [run for run in app.loaded.values() if isinstance(run, TaskRun)]
+        if not runs:
+            return
+        if any(run.preempt_requested for run in runs):
+            return  # a rotation is already in flight
+        highest = max(runs, key=lambda run: run.task.index)
+        if highest.task.index > payloads[0].index:
+            highest.request_preempt()
+
+    def _make_plan(self, app: AppRun, payload: Payload, slot: Slot) -> PRPlan:
+        slot.begin_reconfiguration()
+        app.pending_pr.add(payload.name)
+        app.started = True
+        serial = False
+        if isinstance(payload, BundleSpec):
+            app.used_big += 1
+            serial = self.choose_serial_bundle(app, payload)
+        else:
+            app.used_little += 1
+        bitstream = self.board.sd_card.register(payload.name, slot.kind)
+        self.tracer.emit(
+            self.engine.now, "pr_plan", app=app.inst.name, payload=payload.name, slot=slot.name
+        )
+        return PRPlan(
+            app_run=app,
+            payload=payload,
+            slot=slot,
+            bitstream=bitstream,
+            posted_at=self.engine.now,
+            serial_bundle=serial,
+        )
+
+    def _complete_pr(self, plan: PRPlan) -> None:
+        transfer = plan.bitstream.load_time_ms(self.params)
+        queue_wait = self.engine.now - plan.posted_at - transfer
+        self.stats.note_pr(max(0.0, queue_wait), cross_app=plan.cross_app)
+        app = plan.app_run
+        plan.slot.complete_reconfiguration(occupancy_for(app, plan.payload, plan.slot))
+        app.pending_pr.discard(plan.payload.name)
+        if isinstance(plan.payload, BundleSpec):
+            run: object = BundleRun(self, app, plan.payload, plan.slot, plan.serial_bundle)
+        else:
+            run = TaskRun(self, app, plan.payload, plan.slot)
+        app.loaded[plan.payload.name] = run
+        self.tracer.emit(
+            self.engine.now, "pr_done", app=app.inst.name, payload=plan.payload.name,
+            wait_ms=max(0.0, queue_wait),
+        )
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # Execution-side callbacks (task/bundle runs)
+    # ------------------------------------------------------------------
+    def launch_gate(self, app_run: Optional[AppRun] = None) -> Generator:
+        """Process fragment run before every batch-item launch.
+
+        The launch needs the scheduler core; on single-core systems a PR in
+        flight therefore stalls it — the task execution blocking problem.
+        Blocking is attributed to PR contention only when the in-flight or
+        queued PR belongs to a *different* application (Fig. 2 semantics).
+        """
+        core = self.board.ps.scheduler_core
+        started = self.engine.now
+        pr_busy = (
+            (self._inflight_app is not None and self._inflight_app is not app_run)
+            or any(q.app_run is not app_run for q in self.pr_queue.items())
+        )
+        request = core.acquire()
+        yield request
+        wait = self.engine.now - started
+        self.stats.note_launch(wait, pr_in_flight=pr_busy)
+        try:
+            yield self.engine.timeout(self.params.launch_overhead_ms)
+        finally:
+            core.release()
+
+    def on_run_finished(self, run, preempted: bool) -> None:
+        """A task/bundle vacated its slot (batch done or preempted)."""
+        app: AppRun = run.app_run
+        run.slot.release()
+        app.loaded.pop(run.payload_name, None)
+        if isinstance(run, BundleRun):
+            app.used_big -= 1
+        else:
+            app.used_little -= 1
+        if preempted:
+            self.stats.preemptions += 1
+        if app.all_done and not app.finished:
+            self._finish_app(app)
+        self.kick()
+
+    def _finish_app(self, app: AppRun) -> None:
+        app.finished = True
+        app.finish_time = self.engine.now
+        for queue in (self.c_wait, self.s_big, self.s_little):
+            if app in queue:
+                queue.remove(app)
+        self.stats.completions += 1
+        self.stats.responses.append(ResponseRecord(app.inst, self.engine.now))
+        self.tracer.emit(
+            self.engine.now, "finish", app=app.inst.name,
+            response_ms=self.engine.now - app.inst.arrival_time,
+        )
+        for listener in self.finish_listeners:
+            listener(self, app)
+        self._notify_candidates()
+
+    def _notify_candidates(self) -> None:
+        for listener in self.candidate_listeners:
+            listener(self)
+
+    # ------------------------------------------------------------------
+    # Capacity queries shared by allocation policies
+    # ------------------------------------------------------------------
+    @property
+    def big_total(self) -> int:
+        return self.board.big_slot_count
+
+    @property
+    def little_total(self) -> int:
+        return self.board.little_slot_count
+
+    def committed_little(self) -> int:
+        """Little slots currently committed (loaded or reconfiguring)."""
+        return sum(app.used_little for app in self.apps if not app.finished)
+
+    def committed_big(self) -> int:
+        """Big slots currently committed (loaded or reconfiguring)."""
+        return sum(app.used_big for app in self.apps if not app.finished)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} on {self.board.name}>"

@@ -1,0 +1,78 @@
+"""Exclusive temporal multiplexing (the traditional Baseline).
+
+The classic cloud FPGA model (AWS F1 / Catapult style): one application
+owns the whole fabric at a time, context switches are full-fabric
+reconfigurations, and arrivals queue FIFO.  With all pipeline stages
+resident simultaneously the application itself runs fast — the cost is the
+huge reconfiguration and the total lack of sharing, which is what Fig. 5
+normalizes against.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..apps.application import ApplicationInstance, pipelined_exec_time
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fpga.board import FPGABoard
+from ..sim import NULL_TRACER, Store, Tracer
+from .base import ResponseRecord, SchedulerStats
+
+
+class BaselineScheduler:
+    """Whole-FPGA FIFO multiplexing via full reconfiguration."""
+
+    name = "Baseline"
+
+    def __init__(
+        self,
+        board: FPGABoard,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.board = board
+        self.engine = board.engine
+        self.params = params
+        self.tracer = tracer
+        self.stats = SchedulerStats()
+        self._queue: Store = Store(self.engine, name=f"{board.name}-baseline")
+        self._pending: List[ApplicationInstance] = []
+        self.engine.process(self._serve_loop())
+
+    def submit(self, inst: ApplicationInstance) -> None:
+        """Queue an application for exclusive execution."""
+        self.stats.arrivals += 1
+        self._pending.append(inst)
+        self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
+        self._queue.put(inst)
+
+    @property
+    def is_drained(self) -> bool:
+        return not self._pending
+
+    def _serve_loop(self) -> Generator:
+        core = self.board.ps.scheduler_core
+        while True:
+            inst = yield self._queue.get()
+            # Full-fabric reconfiguration: the PCAP suspends the core.
+            request = core.acquire()
+            yield request
+            bitstream = self.board.sd_card.full_fabric(inst.spec.name)
+            try:
+                yield from self.board.pcap.load(bitstream)
+                # Full reconfiguration interrupts the whole system: the
+                # shell and PS-side state must be brought up again.
+                yield self.engine.timeout(self.params.full_restart_overhead_ms)
+            finally:
+                core.release()
+            self.stats.note_pr(0.0)
+            # All stages resident: ideal item-level pipeline across the app.
+            duration = pipelined_exec_time(inst.spec.tasks, inst.batch_size)
+            yield self.engine.timeout(duration)
+            self.stats.completions += 1
+            self.stats.responses.append(ResponseRecord(inst, self.engine.now))
+            self._pending.remove(inst)
+            self.tracer.emit(
+                self.engine.now, "finish", app=inst.name,
+                response_ms=self.engine.now - inst.arrival_time,
+            )

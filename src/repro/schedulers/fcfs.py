@@ -1,0 +1,59 @@
+"""First-come-first-served spatio-temporal sharing.
+
+The FCFS comparator from the paper's evaluation: a naive DPR-sharing
+system.  Each application reserves one slot per task at admission and
+*keeps the whole reservation until it completes* — there is no
+pipeline-aware sizing (Nimblock's ILP) and no early release of slots whose
+stage already finished its batch.  Admission is strict arrival order, so a
+wide application at the head of the queue blocks everything behind it
+(convoy effect).  Scheduling and PR share a single CPU core, so bitstream
+loads also block task launches.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fpga.board import FPGABoard
+from ..sim import NULL_TRACER, Tracer
+from .base import OnBoardScheduler
+
+
+class FCFSScheduler(OnBoardScheduler):
+    """Static one-slot-per-task reservations in strict arrival order."""
+
+    name = "FCFS"
+
+    #: Naive cross-slot streaming: coarse double-buffered chunks via DDR.
+    pipeline_chunk_items = 2
+
+    def __init__(
+        self,
+        board: FPGABoard,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(board, params, dual_core=False, preemption=False, tracer=tracer)
+
+    def allocate(self) -> None:
+        active = self.dispatch_order()
+        free = self.little_total - sum(
+            app.alloc_little for app in active if app.alloc_little > 0
+        )
+        for app in active:
+            if app.alloc_little > 0:
+                # Sticky reservation: grow toward the full want if slots
+                # freed up, never shrink before completion.
+                want = min(app.inst.task_count, self.little_total)
+                if app.alloc_little < want and free > 0:
+                    growth = min(want - app.alloc_little, free)
+                    app.alloc_little += growth
+                    free -= growth
+                continue
+            if free <= 0:
+                break  # strict FIFO: no skipping past the queue head
+            grant = min(app.inst.task_count, self.little_total, free)
+            app.alloc_little = grant
+            free -= grant
+            if app in self.c_wait:
+                self.c_wait.remove(app)
+                self.s_little.append(app)

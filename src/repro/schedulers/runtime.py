@@ -1,0 +1,345 @@
+"""On-board runtime state: application runs, task runs and bundle runs.
+
+This module holds the execution machinery shared by every spatio-temporal
+scheduler (FCFS, RR, Nimblock, VersaSlot):
+
+* :class:`AppRun` — per-application bookkeeping: item-level completion
+  state, the pipeline dependency events, slot allocation and binding.
+* :class:`TaskRun` — one task loaded in a Little slot; a process that walks
+  the batch item by item, honouring the cross-slot pipeline dependency and
+  the launch gate (every item launch needs the scheduler CPU core — the
+  coupling behind the paper's *task execution blocking* problem).
+* :class:`BundleRun` — one 3-in-1 task loaded in a Big slot, executing its
+  three member tasks in parallel (internal pipeline) or serial mode.
+
+Preemption is cooperative at batch-item boundaries, matching the paper:
+the scheduler raises a flag and the run exits after the current item; its
+progress persists in the :class:`AppRun` so a later reload resumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple, Union
+
+from ..apps.application import ApplicationInstance, BundleSpec, TaskSpec
+from ..fpga.resvec import ResourceVector
+from ..fpga.slots import Slot, SlotOccupancy
+from ..sim import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .base import OnBoardScheduler
+
+#: A loadable payload: a single task (Little slot) or a bundle (Big slot).
+Payload = Union[TaskSpec, BundleSpec]
+
+
+class AppRun:
+    """Runtime state of one application on one board."""
+
+    def __init__(self, scheduler: "OnBoardScheduler", inst: ApplicationInstance) -> None:
+        self.scheduler = scheduler
+        self.inst = inst
+        self.spec = inst.spec
+        self.batch = inst.batch_size
+        #: Items completed per task, in strict item order.
+        self.done_counts: List[int] = [0] * self.spec.task_count
+        self._item_events: Dict[Tuple[int, int], Event] = {}
+        #: Allocated slots (R_Ai in the paper).
+        self.alloc_big = 0
+        self.alloc_little = 0
+        #: Slots currently committed (loaded or reconfiguring), U_Ai.
+        self.used_big = 0
+        self.used_little = 0
+        #: True once bound to Big slots; such apps finish entirely there.
+        self.in_big = False
+        #: True once any PR for this app has been issued (isAppStarted).
+        self.started = False
+        #: Payload names currently being reconfigured.
+        self.pending_pr: set = set()
+        #: Loaded runs keyed by payload name.
+        self.loaded: Dict[str, Union["TaskRun", "BundleRun"]] = {}
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        #: Set by live migration: runs should not be extended on this board.
+        self.frozen = False
+
+    # ------------------------------------------------------------------
+    # Pipeline dependency plumbing
+    # ------------------------------------------------------------------
+    def item_done(self, task_index: int, item: int) -> bool:
+        """True once item ``item`` of task ``task_index`` has completed."""
+        return self.done_counts[task_index] > item
+
+    def item_event(self, task_index: int, item: int) -> Event:
+        """Event firing when item ``item`` of task ``task_index`` completes."""
+        engine = self.scheduler.engine
+        if self.item_done(task_index, item):
+            event = engine.event()
+            event.succeed()
+            return event
+        key = (task_index, item)
+        if key not in self._item_events:
+            self._item_events[key] = engine.event()
+        return self._item_events[key]
+
+    def mark_item_done(self, task_index: int, item: int) -> None:
+        """Record completion of one batch item; items complete in order."""
+        expected = self.done_counts[task_index]
+        if item != expected:
+            raise RuntimeError(
+                f"{self.inst.name}: task {task_index} completed item {item}, "
+                f"expected {expected}"
+            )
+        self.done_counts[task_index] += 1
+        event = self._item_events.pop((task_index, item), None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # Progress queries used by the allocation/scheduling policies
+    # ------------------------------------------------------------------
+    def task_complete(self, task_index: int) -> bool:
+        """True once a task finished its whole batch."""
+        return self.done_counts[task_index] >= self.batch
+
+    @property
+    def all_done(self) -> bool:
+        return all(count >= self.batch for count in self.done_counts)
+
+    def unfinished_task_count(self) -> int:
+        """N_TAi: tasks that still have unfinished items."""
+        return sum(1 for count in self.done_counts if count < self.batch)
+
+    def unfinished_bundle_count(self) -> int:
+        """Bundles with at least one unfinished member task."""
+        if not self.spec.can_bundle:
+            return 0
+        return sum(
+            1
+            for bundle in self.spec.bundles
+            if any(not self.task_complete(i) for i in bundle.task_indices)
+        )
+
+    def next_little_payloads(self) -> List[TaskSpec]:
+        """Tasks eligible for loading into Little slots, pipeline order.
+
+        A task is eligible when it is incomplete, not loaded and not
+        currently being reconfigured.  Order matters: lowest index first
+        guarantees the pipeline can always make progress (see the
+        deadlock-freedom argument in the tests).
+
+        When a loaded run has a pending preemption, no task *after* it is
+        eligible: its slot must go back to the preempted stage first, or
+        the app fills its allocation with downstream stages that starve on
+        the missing upstream (a livelock observed under Real-time load).
+        """
+        preempt_floor = min(
+            (
+                run.task.index
+                for run in self.loaded.values()
+                if isinstance(run, TaskRun) and run.preempt_requested
+            ),
+            default=None,
+        )
+        eligible = []
+        for task in self.spec.tasks:
+            if preempt_floor is not None and task.index > preempt_floor:
+                break
+            if self.task_complete(task.index):
+                continue
+            if task.name in self.loaded or task.name in self.pending_pr:
+                continue
+            eligible.append(task)
+        return eligible
+
+    def next_big_payloads(self) -> List[BundleSpec]:
+        """Bundles eligible for loading into Big slots, pipeline order."""
+        eligible = []
+        for bundle in self.spec.bundles:
+            if all(self.task_complete(i) for i in bundle.task_indices):
+                continue
+            if bundle.name in self.loaded or bundle.name in self.pending_pr:
+                continue
+            eligible.append(bundle)
+        return eligible
+
+    @property
+    def used_slots(self) -> int:
+        return self.used_big + self.used_little
+
+    def __repr__(self) -> str:
+        return (
+            f"<AppRun {self.inst.name} done={self.done_counts} "
+            f"R=({self.alloc_big},{self.alloc_little}) "
+            f"U=({self.used_big},{self.used_little})>"
+        )
+
+
+class TaskRun:
+    """A task loaded in a Little slot, executing its batch item by item."""
+
+    def __init__(self, scheduler: "OnBoardScheduler", app_run: AppRun, task: TaskSpec, slot: Slot) -> None:
+        self.scheduler = scheduler
+        self.app_run = app_run
+        self.task = task
+        self.slot = slot
+        self.preempt_requested = False
+        self.items_this_load = 0
+        self._waiting_dependency = False
+        self.process = scheduler.engine.process(self._run())
+
+    @property
+    def payload_name(self) -> str:
+        return self.task.name
+
+    def request_preempt(self) -> None:
+        """Ask the run to vacate its slot at the next item boundary.
+
+        A run parked on an upstream dependency event would otherwise hold
+        its slot until that event fires — which may be never, if the
+        upstream stage itself needs this slot — so dependency waits are
+        interrupted immediately.
+        """
+        self.preempt_requested = True
+        if self._waiting_dependency and self.process.is_alive:
+            self.process.interrupt("preempted")
+
+    def _run(self) -> Generator:
+        app = self.app_run
+        engine = self.scheduler.engine
+        k = self.task.index
+        while app.done_counts[k] < app.batch:
+            if self.preempt_requested:
+                break
+            item = app.done_counts[k]
+            # Cross-slot dependency: item-level pipeline for pipeline-aware
+            # systems; naive ones stream coarser chunks (or whole batches),
+            # so their slots idle while upstream stages drain — the
+            # under-utilization the paper attributes to uniform sharing.
+            if not self.scheduler.item_pipelining:
+                upstream_item = app.batch - 1
+            else:
+                chunk = self.scheduler.pipeline_chunk_items
+                upstream_item = min(app.batch - 1, (item // chunk + 1) * chunk - 1)
+            if k > 0 and not app.item_done(k - 1, upstream_item):
+                self._waiting_dependency = True
+                try:
+                    yield app.item_event(k - 1, upstream_item)
+                except Interrupt:
+                    break
+                finally:
+                    self._waiting_dependency = False
+                continue  # re-check preemption after a potentially long wait
+            yield from self.scheduler.launch_gate(app)
+            # Execution plus the per-item AXI/DDR hop into this slot.
+            hop = self.scheduler.params.inter_slot_transfer_ms
+            yield engine.timeout(self.task.exec_time_ms + hop)
+            app.mark_item_done(k, item)
+            self.items_this_load += 1
+        self.scheduler.on_run_finished(self, preempted=self.preempt_requested)
+        return self.items_this_load
+
+
+class BundleRun:
+    """A 3-in-1 bundle loaded in a Big slot.
+
+    Execution mode is chosen at bundling time (Algorithm 2's online
+    bundling) via the paper's criterion: serial when
+    ``Tmax * (B + 2) > sum(T) * B``, else parallel.
+
+    * **Parallel** — the three member tasks form an internal pipeline; the
+      first item pays the fill time ``sum(T)``, each further item completes
+      every ``Tmax``.  All three member tasks' items are published when the
+      item leaves the bundle (downstream only consumes the last member).
+    * **Serial** — members run one full batch after another.
+    """
+
+    def __init__(
+        self,
+        scheduler: "OnBoardScheduler",
+        app_run: AppRun,
+        bundle: BundleSpec,
+        slot: Slot,
+        serial: bool,
+    ) -> None:
+        self.scheduler = scheduler
+        self.app_run = app_run
+        self.bundle = bundle
+        self.slot = slot
+        self.serial = serial
+        self.preempt_requested = False  # bundles are never preempted
+        self.process = scheduler.engine.process(
+            self._run_serial() if serial else self._run_parallel()
+        )
+
+    @property
+    def payload_name(self) -> str:
+        return self.bundle.name
+
+    def _upstream_ready(self, item: int) -> Optional[Event]:
+        """Dependency of the bundle's first member on the previous bundle."""
+        first = self.bundle.task_indices[0]
+        if first == 0 or self.app_run.item_done(first - 1, item):
+            return None
+        return self.app_run.item_event(first - 1, item)
+
+    def _run_parallel(self) -> Generator:
+        app = self.app_run
+        engine = self.scheduler.engine
+        times = app.spec.bundle_exec_times(self.bundle)
+        # Internal stages stream on-chip: the steady-state rate is set by
+        # the slowest member alone; the boundary DDR hop is paid once, in
+        # the fill, and thereafter overlaps the slowest member.
+        hop = self.scheduler.params.inter_slot_transfer_ms
+        fill = sum(times) + hop
+        t_max = max(times)
+        first = self.bundle.task_indices[0]
+        start_item = app.done_counts[first]
+        for item in range(start_item, app.batch):
+            waiting = self._upstream_ready(item)
+            if waiting is not None:
+                yield waiting
+            yield from self.scheduler.launch_gate(app)
+            yield engine.timeout(fill if item == start_item else t_max)
+            for member in self.bundle.task_indices:
+                app.mark_item_done(member, item)
+        self.scheduler.on_run_finished(self, preempted=False)
+        return app.batch - start_item
+
+    def _run_serial(self) -> Generator:
+        app = self.app_run
+        engine = self.scheduler.engine
+        completed = 0
+        # Serial mode buffers whole batches between members, so each
+        # member's items pay the DDR hop like separate slots would.
+        hop = self.scheduler.params.inter_slot_transfer_ms
+        for member in self.bundle.task_indices:
+            exec_ms = app.spec.tasks[member].exec_time_ms + hop
+            for item in range(app.done_counts[member], app.batch):
+                if member == self.bundle.task_indices[0]:
+                    waiting = self._upstream_ready(item)
+                    if waiting is not None:
+                        yield waiting
+                yield from self.scheduler.launch_gate(app)
+                yield engine.timeout(exec_ms)
+                app.mark_item_done(member, item)
+                completed += 1
+        self.scheduler.on_run_finished(self, preempted=False)
+        return completed
+
+
+def occupancy_for(app_run: AppRun, payload: Payload, slot: Slot) -> SlotOccupancy:
+    """Build the slot-occupancy record for a payload about to be installed."""
+    if isinstance(payload, BundleSpec):
+        # usage_big is a fraction of the Big slot; convert to absolute units.
+        usage = ResourceVector(
+            payload.usage_big.lut * slot.capacity.lut,
+            payload.usage_big.ff * slot.capacity.ff,
+        )
+    else:
+        usage = payload.usage
+    return SlotOccupancy(
+        payload_name=payload.name,
+        app_id=app_run.inst.app_id,
+        usage=usage,
+    )

@@ -1,0 +1,105 @@
+"""The discrete-event simulation engine.
+
+The engine owns the global clock and a time-ordered event queue.  Same-time
+events dispatch in FIFO order (with an *urgent* lane used internally for
+process start-up and interrupts), which keeps every simulation run fully
+deterministic — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional
+
+from .events import AllOf, AnyOf, Event, NORMAL, Process, Timeout
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Engine.step` when no events remain."""
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    Time is a float in *milliseconds* by convention throughout the VersaSlot
+    models, though the engine itself is unit-agnostic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = start_time
+        self._heap: List[Any] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing once every event in ``events`` has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing once any event in ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue a triggered event for dispatch at ``now + delay``."""
+        heapq.heappush(self._heap, (self.now + delay, priority, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        try:
+            when, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule() from None
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody consumed: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until ({until}) is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_complete(self, process: Process, limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes and return its value.
+
+        Raises ``RuntimeError`` if the queue drains (or ``limit`` is hit)
+        before the process completes.
+        """
+        self.run(until=limit)
+        if process.is_alive:
+            raise RuntimeError("simulation ended before the process completed")
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,289 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic coroutine style: model code is written as
+generator functions that ``yield`` events; the engine resumes a generator
+when the event it waits on fires.  Three event flavours cover everything the
+VersaSlot models need:
+
+* :class:`Event` — a one-shot signal that can succeed with a value or fail
+  with an exception.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — a running generator; it is itself an event that fires
+  when the generator returns, so processes can wait on each other.
+
+:class:`AllOf` / :class:`AnyOf` compose events, and
+:meth:`Process.interrupt` injects an :class:`Interrupt` exception into a
+waiting process (used for preemption and live migration).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+#: Sentinel marking an event that has not been triggered yet.
+PENDING = object()
+
+#: Scheduling priorities; lower sorts earlier among same-time events.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot condition that processes can wait for.
+
+    Events move through three states: *pending* (just created), *triggered*
+    (a value or an exception has been set and the event is queued in the
+    engine), and *processed* (the engine has run its callbacks).
+    """
+
+    def __init__(self, engine: "Engine") -> None:  # noqa: F821
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has dispatched the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise RuntimeError("event value is not available yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine.enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process receives the exception via ``throw``.  If nothing
+        ever waits on a failed event the engine raises the exception at
+        dispatch time so errors never pass silently.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.engine.enqueue(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units in the future."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.engine.enqueue(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, engine: "Engine", process: "Process") -> None:  # noqa: F821
+        super().__init__(engine)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        self.engine.enqueue(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    fires, the generator is resumed with the event's value (or the event's
+    exception is thrown into it).  The process itself is an event that
+    succeeds with the generator's return value, so ``yield other_process``
+    waits for completion.
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(engine, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is detached from whatever event it currently waits on;
+        that event stays valid and may still fire for other waiters.
+        Interrupting a finished process is an error.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None:
+            raise RuntimeError(f"{self!r} is not yet waiting and cannot be interrupted")
+        event = Event(self.engine)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        if self._target.callbacks is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        event.callbacks.append(self._resume)
+        self.engine.enqueue(event, priority=URGENT)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.engine._active_process = self
+        while True:
+            try:
+                if event is None:
+                    target = self._generator.send(None)
+                elif event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.engine.enqueue(self)
+                break
+            except BaseException as error:  # noqa: BLE001 - forwarded to waiters
+                self._ok = False
+                self._value = error
+                self.engine.enqueue(self)
+                break
+            if not isinstance(target, Event):
+                error = RuntimeError(f"process yielded a non-event: {target!r}")
+                self._generator.close()
+                self._ok = False
+                self._value = error
+                self.engine.enqueue(self)
+                break
+            if target.processed:
+                # Already dispatched: resume immediately with its outcome.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            break
+        self.engine._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for events composed of several child events."""
+
+    def __init__(self, engine: "Engine", events: List[Event]) -> None:  # noqa: F821
+        super().__init__(engine)
+        self.events = list(events)
+        for child in self.events:
+            if child.engine is not engine:
+                raise ValueError("cannot mix events from different engines")
+
+    @staticmethod
+    def _outcome(event: Event) -> Any:
+        return event._value
+
+
+class AllOf(ConditionEvent):
+    """Fires when all child events have fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    def __init__(self, engine: "Engine", events: List[Event]) -> None:  # noqa: F821
+        super().__init__(engine, events)
+        self._remaining = 0
+        for child in self.events:
+            if child.processed:
+                self._collect(child)
+            else:
+                self._remaining += 1
+                child.callbacks.append(self._collect)
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([self._outcome(child) for child in self.events])
+
+    def _collect(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child._ok:
+            child._defused = True
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining <= 0:
+            pending = [c for c in self.events if not c.triggered]
+            if not pending:
+                self.succeed([self._outcome(child) for child in self.events])
+
+
+class AnyOf(ConditionEvent):
+    """Fires when the first child event fires; value is that child's value."""
+
+    def __init__(self, engine: "Engine", events: List[Event]) -> None:  # noqa: F821
+        super().__init__(engine, events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        done = next((c for c in self.events if c.processed), None)
+        if done is not None:
+            self._collect(done)
+        else:
+            for child in self.events:
+                child.callbacks.append(self._collect)
+
+    def _collect(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._ok:
+            self.succeed(self._outcome(child))
+        else:
+            child._defused = True
+            self.fail(child._value)

@@ -1,0 +1,178 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Resource` models anything with finite capacity that processes
+acquire and release — CPU cores, the PCAP port, DMA channels.  Requests are
+granted strictly FIFO, which mirrors the hardware arbiters the paper
+describes (the PCAP serializes bitstream loads in arrival order).
+
+:class:`Store` is an unbounded FIFO of items with blocking ``get``; the
+VersaSlot PR server consumes reconfiguration requests from one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .engine import Engine
+from .events import Event
+
+
+class Request(Event):
+    """A pending acquisition of one unit of a :class:`Resource`.
+
+    The request fires when the unit is granted.  A waiter that gives up
+    (e.g. a preempted process) must call :meth:`cancel` so the unit is not
+    granted to a dead request.
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.engine)
+        self.resource = resource
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw the request; releases the unit if already granted."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.triggered:
+            self.resource.release()
+        else:
+            self.resource._abandon(self)
+
+
+class Resource:
+    """A FIFO resource with integer capacity.
+
+    Usage from a process::
+
+        request = resource.acquire()
+        yield request
+        try:
+            yield engine.timeout(10.0)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        # Accounting for utilization metrics.
+        self._busy_time = 0.0
+        self._last_change = engine.now
+        self.total_grants = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted units."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free units."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def acquire(self) -> Request:
+        """Request one unit; the returned event fires when granted."""
+        request = Request(self)
+        self._request_times[id(request)] = self.engine.now
+        if self._in_use < self.capacity:
+            self._grant(request)
+        else:
+            self._waiting.append(request)
+        return request
+
+    def release(self) -> None:
+        """Return one unit and grant the oldest live waiter, if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        self._account()
+        self._in_use -= 1
+        while self._waiting:
+            request = self._waiting.popleft()
+            if not request.cancelled:
+                self._grant(request)
+                break
+
+    def busy_fraction(self, horizon: Optional[float] = None) -> float:
+        """Time-weighted mean utilization since creation.
+
+        ``horizon`` defaults to the current simulation time.
+        """
+        end = self.engine.now if horizon is None else horizon
+        if end <= 0:
+            return 0.0
+        busy = self._busy_time + self._in_use * (end - self._last_change)
+        return busy / (end * self.capacity)
+
+    # ------------------------------------------------------------------
+    def _grant(self, request: Request) -> None:
+        self._account()
+        self._in_use += 1
+        self.total_grants += 1
+        started = self._request_times.pop(id(request), self.engine.now)
+        self.total_wait_time += self.engine.now - started
+        request.succeed(self)
+
+    def _abandon(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+        self._request_times.pop(id(request), None)
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest waiting getter immediately."""
+        self.total_puts += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item (FIFO)."""
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)

@@ -1,0 +1,34 @@
+"""Seeded random-stream management.
+
+Simulation components that need randomness (PCAP verification failures,
+synthetic workload generation, partitioning) must not share one global
+RNG: interleaving order would then change results when an unrelated
+component is added.  :class:`SeededStreams` derives an independent,
+reproducible ``random.Random`` per named consumer from one root seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class SeededStreams:
+    """A family of independent named RNG streams under one root seed."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name`` (created deterministically on first use)."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(f"{self.root_seed}/{name}")
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "SeededStreams":
+        """A child family, itself deterministic under the root seed."""
+        return SeededStreams(hash((self.root_seed, name)) & 0x7FFFFFFF)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

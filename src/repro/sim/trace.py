@@ -1,0 +1,54 @@
+"""Structured tracing for simulation runs.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples.  The metrics
+layer and several tests consume traces; experiment runners disable tracing
+for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    enabled: bool = True
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        """Record an event if tracing is enabled."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, payload))
+
+    def filter(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate over records of one category, in time order."""
+        return (record for record in self.records if record.category == category)
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records, optionally restricted to one category."""
+        if category is None:
+            return len(self.records)
+        return sum(1 for record in self.records if record.category == category)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.records.clear()
+
+
+#: A tracer that drops everything; handy default for hot paths.
+NULL_TRACER = Tracer(enabled=False)

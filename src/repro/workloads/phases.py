@@ -1,0 +1,103 @@
+"""Phase-structured and Poisson workloads.
+
+The Fig. 8 switching experiment needs workloads whose congestion varies
+over time so the D_switch metric actually moves; :class:`PhasedWorkload`
+composes arbitrary interval phases.  :func:`poisson_sequence` provides
+memoryless arrivals as an alternative to the paper's uniform intervals
+(used by robustness tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..apps.benchmarks import BENCHMARKS
+from .generator import BATCH_RANGE, Arrival
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A span of arrivals with one interval distribution."""
+
+    #: Number of applications arriving in this phase.
+    count: int
+    #: Uniform interval bounds between arrivals (ms).
+    interval_lo_ms: float
+    interval_hi_ms: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"phase count must be >= 1, got {self.count}")
+        if not (0 < self.interval_lo_ms <= self.interval_hi_ms):
+            raise ValueError(
+                f"bad interval bounds [{self.interval_lo_ms}, {self.interval_hi_ms}]"
+            )
+
+
+class PhasedWorkload:
+    """A workload built from consecutive interval phases."""
+
+    def __init__(self, phases: Sequence[Phase], seed: int,
+                 batch_range: Tuple[int, int] = BATCH_RANGE) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = list(phases)
+        self.seed = seed
+        self.batch_range = batch_range
+
+    @property
+    def total_apps(self) -> int:
+        return sum(phase.count for phase in self.phases)
+
+    def generate(self) -> List[Arrival]:
+        """Materialize the arrival sequence."""
+        rng = random.Random(f"phased/{self.seed}")
+        names = list(BENCHMARKS)
+        lo_batch, hi_batch = self.batch_range
+        arrivals: List[Arrival] = []
+        t = 0.0
+        for phase in self.phases:
+            for _ in range(phase.count):
+                arrivals.append(
+                    Arrival(
+                        app_name=rng.choice(names),
+                        batch_size=rng.randint(lo_batch, hi_batch),
+                        time_ms=t,
+                    )
+                )
+                t += rng.uniform(phase.interval_lo_ms, phase.interval_hi_ms)
+        return arrivals
+
+
+def ramp_workload(seed: int, n_apps: int, relaxed_ms: Tuple[float, float],
+                  dense_ms: Tuple[float, float]) -> List[Arrival]:
+    """Relaxed -> dense -> relaxed, thirds; the Fig. 8 trace shape."""
+    third = max(1, n_apps // 3)
+    phases = [
+        Phase(third, *relaxed_ms),
+        Phase(third, *dense_ms),
+        Phase(max(1, n_apps - 2 * third), *relaxed_ms),
+    ]
+    return PhasedWorkload(phases, seed).generate()
+
+
+def poisson_sequence(seed: int, n_apps: int, mean_interval_ms: float,
+                     batch_range: Tuple[int, int] = BATCH_RANGE) -> List[Arrival]:
+    """Memoryless arrivals with exponential inter-arrival times."""
+    if mean_interval_ms <= 0:
+        raise ValueError(f"mean interval must be positive, got {mean_interval_ms}")
+    if n_apps < 1:
+        raise ValueError(f"n_apps must be >= 1, got {n_apps}")
+    rng = random.Random(f"poisson/{seed}")
+    names = list(BENCHMARKS)
+    lo, hi = batch_range
+    arrivals: List[Arrival] = []
+    t = 0.0
+    for _ in range(n_apps):
+        arrivals.append(
+            Arrival(app_name=rng.choice(names), batch_size=rng.randint(lo, hi), time_ms=t)
+        )
+        t += rng.expovariate(1.0 / mean_interval_ms)
+    return arrivals

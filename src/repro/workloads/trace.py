@@ -1,0 +1,56 @@
+"""Workload trace record/replay.
+
+Experiments can serialize an arrival sequence to a plain-text trace and
+replay it later — useful for comparing schedulers on byte-identical
+workloads across processes, and for archiving the exact sequences behind
+a published table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .generator import Arrival
+
+#: Trace format version tag, first line of every file.
+TRACE_HEADER = "# versaslot-trace v1"
+
+
+def dumps(arrivals: Sequence[Arrival]) -> str:
+    """Serialize a sequence to the trace text format."""
+    lines = [TRACE_HEADER]
+    for arrival in arrivals:
+        # repr round-trips float precision exactly.
+        lines.append(f"{arrival.time_ms!r} {arrival.app_name} {arrival.batch_size}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> List[Arrival]:
+    """Parse a trace produced by :func:`dumps`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != TRACE_HEADER:
+        raise ValueError(f"not a versaslot trace (expected {TRACE_HEADER!r})")
+    arrivals: List[Arrival] = []
+    previous = -1.0
+    for lineno, line in enumerate(lines[1:], start=2):
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"line {lineno}: expected 'time app batch', got {line!r}")
+        time_ms = float(parts[0])
+        batch = int(parts[2])
+        if time_ms < previous:
+            raise ValueError(f"line {lineno}: arrival times must be non-decreasing")
+        previous = time_ms
+        arrivals.append(Arrival(app_name=parts[1], batch_size=batch, time_ms=time_ms))
+    return arrivals
+
+
+def save(arrivals: Sequence[Arrival], path: Union[str, Path]) -> None:
+    """Write a trace file."""
+    Path(path).write_text(dumps(arrivals))
+
+
+def load(path: Union[str, Path]) -> List[Arrival]:
+    """Read a trace file."""
+    return loads(Path(path).read_text())

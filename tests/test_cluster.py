@@ -1,0 +1,178 @@
+"""Tests for the cluster layer: migration, monitor, cross-board switching."""
+
+import pytest
+
+from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+from repro.cluster import ContentionMonitor, FPGACluster, MigrationStats, prewarm_board
+from repro.config import DEFAULT_PARAMETERS
+from repro.core import make_versaslot
+from repro.core.switching import SchmittTrigger
+from repro.fpga import BoardConfig, FPGABoard, SlotKind
+from repro.sim import Engine
+from repro.workloads import Arrival, drive
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_instance_ids()
+
+
+def make_cluster(engine, **kwargs):
+    return FPGACluster(
+        engine,
+        scheduler_factory=lambda board, params, tracer: make_versaslot(board, params, tracer),
+        params=DEFAULT_PARAMETERS,
+        **kwargs,
+    )
+
+
+class TestCluster:
+    def test_default_two_boards(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        assert len(cluster.boards) == 2
+        assert cluster.active_config is BoardConfig.ONLY_LITTLE
+
+    def test_initial_config_must_exist(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            FPGACluster(
+                engine,
+                scheduler_factory=lambda b, p, t: make_versaslot(b, p, t),
+                configs=[BoardConfig.ONLY_LITTLE],
+                initial=BoardConfig.BIG_LITTLE,
+            )
+
+    def test_submit_routes_to_active(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 5, 0.0))
+        assert len(cluster.active_scheduler.apps) == 1
+
+    def test_responses_collected_across_boards(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 5, 0.0))
+        engine.run(until=50_000_000)
+        assert cluster.is_drained
+        assert len(cluster.responses) == 1
+        assert cluster.response_times_ms()[0] > 0
+
+    def test_request_switch_moves_active(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        assert cluster.request_switch(BoardConfig.BIG_LITTLE)
+        assert cluster.active_config is BoardConfig.BIG_LITTLE
+        engine.run(until=10_000.0)
+        assert cluster.migration_stats.count == 1
+
+    def test_switch_to_same_config_refused(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        assert not cluster.request_switch(BoardConfig.ONLY_LITTLE)
+
+    def test_concurrent_switch_refused(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        assert cluster.request_switch(BoardConfig.BIG_LITTLE)
+        assert not cluster.request_switch(BoardConfig.ONLY_LITTLE)
+
+
+class TestMigration:
+    def test_waiting_apps_move_and_finish_on_target(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        # Saturate the OL board so later arrivals are still waiting.
+        arrivals = [Arrival("OF", 25, 0.0)] * 3 + [Arrival("IC", 10, 10.0)] * 4
+        engine.process(drive(engine, cluster, arrivals))
+
+        def switch_later():
+            yield engine.timeout(500.0)
+            cluster.request_switch(BoardConfig.BIG_LITTLE)
+
+        engine.process(switch_later())
+        engine.run(until=200_000_000)
+        assert cluster.is_drained
+        assert len(cluster.responses) == 7
+        assert cluster.migration_stats.count == 1
+
+    def test_started_apps_drain_on_source(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        source = cluster.active_scheduler
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)
+        cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=100_000_000)
+        # The started app finished on the original board.
+        assert source.stats.completions == 1
+
+    def test_prewarmed_switch_is_fast(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)
+        cluster.prewarm(BoardConfig.BIG_LITTLE)
+        cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=100_000_000)
+        assert cluster.migration_stats.mean_overhead_ms() < 5.0
+
+    def test_cold_switch_pays_staging(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)
+        cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=100_000_000)
+        assert cluster.migration_stats.mean_overhead_ms() > 5.0
+
+    def test_prewarm_board_copies_bitstreams(self):
+        engine = Engine()
+        src = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS, name="s")
+        dst = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS, name="d")
+        src.sd_card.register("IC/t0", SlotKind.LITTLE)
+        assert prewarm_board(dst, src) == 1
+        assert prewarm_board(dst, src) == 0  # idempotent
+
+    def test_migration_stats_empty(self):
+        assert MigrationStats().mean_overhead_ms() == 0.0
+
+
+class TestContentionMonitor:
+    def test_monitor_switches_under_contention(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        # A very sensitive trigger so a modest workload crosses it.
+        monitor = ContentionMonitor(
+            cluster,
+            DEFAULT_PARAMETERS,
+            trigger=SchmittTrigger(threshold_up=0.02, threshold_down=0.001),
+        )
+        arrivals = [
+            Arrival(name, 8, i * 120.0)
+            for i, name in enumerate(["IC", "AN", "OF", "LeNet", "IC", "AN", "OF", "3DR"] * 3)
+        ]
+        engine.process(drive(engine, cluster, arrivals))
+        engine.run(until=400_000_000)
+        assert cluster.is_drained
+        assert len(cluster.responses) == len(arrivals)
+        assert cluster.migration_stats.count >= 1
+        assert monitor.samples
+
+    def test_disabled_monitor_never_switches(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        ContentionMonitor(cluster, DEFAULT_PARAMETERS, enabled=False)
+        arrivals = [Arrival("IC", 10, i * 100.0) for i in range(10)]
+        engine.process(drive(engine, cluster, arrivals))
+        engine.run(until=400_000_000)
+        assert cluster.migration_stats.count == 0
+
+    def test_samples_only_from_active_board(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        monitor = ContentionMonitor(cluster, DEFAULT_PARAMETERS)
+        standby = cluster.scheduler_for(BoardConfig.BIG_LITTLE)
+        # Updates from the standby board are ignored.
+        monitor._on_update(standby)
+        assert monitor.samples == []

@@ -1,0 +1,62 @@
+"""Unit tests for the platform parameter set."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMETERS, ParameterSweep, SystemParameters
+
+
+class TestSystemParameters:
+    def test_pr_time_scales_with_size(self):
+        params = SystemParameters()
+        assert params.pr_time_ms(145.0) == pytest.approx(1000.0)
+
+    def test_pr_time_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SystemParameters().pr_time_ms(0.0)
+
+    def test_big_bitstream_twice_little(self):
+        params = DEFAULT_PARAMETERS
+        assert params.big_pr_ms == pytest.approx(2.0 * params.little_pr_ms)
+
+    def test_full_pr_largest(self):
+        params = DEFAULT_PARAMETERS
+        assert params.full_pr_ms > params.big_pr_ms > params.little_pr_ms
+
+    def test_transfer_time(self):
+        params = SystemParameters(aurora_bandwidth_mbps=1000.0)
+        assert params.transfer_time_ms(1.0) == pytest.approx(1.0)
+
+    def test_transfer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMETERS.transfer_time_ms(-1.0)
+
+    def test_with_overrides_returns_new_instance(self):
+        base = DEFAULT_PARAMETERS
+        tweaked = base.with_overrides(pcap_bandwidth_mbps=290.0)
+        assert tweaked.pcap_bandwidth_mbps == 290.0
+        assert base.pcap_bandwidth_mbps == 145.0
+        assert tweaked.little_pr_ms == pytest.approx(base.little_pr_ms / 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMETERS.pcap_bandwidth_mbps = 1.0
+
+    def test_schmitt_thresholds_sane(self):
+        params = DEFAULT_PARAMETERS
+        assert 0 < params.switch_threshold_down < params.switch_threshold_up < 1
+
+
+class TestParameterSweep:
+    def test_materialize_includes_default(self):
+        sweep = ParameterSweep()
+        out = sweep.materialize()
+        assert out["default"] is DEFAULT_PARAMETERS
+
+    def test_variations_applied(self):
+        sweep = ParameterSweep()
+        sweep.add("fast-pcap", pcap_bandwidth_mbps=290.0)
+        sweep.add("slow-link", aurora_bandwidth_mbps=100.0)
+        out = sweep.materialize()
+        assert out["fast-pcap"].pcap_bandwidth_mbps == 290.0
+        assert out["slow-link"].aurora_bandwidth_mbps == 100.0
+        assert len(out) == 3

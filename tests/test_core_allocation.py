@@ -1,0 +1,186 @@
+"""Unit tests for Algorithm 1 (Big.Little slot allocation) using fakes."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.core.allocation import allocate_big_little
+
+
+@dataclass
+class FakeSpec:
+    can_bundle: bool = True
+
+
+@dataclass
+class FakeInst:
+    app_id: int
+
+
+@dataclass
+class FakeApp:
+    app_id: int
+    tasks_left: int
+    bundles_left: int
+    can_bundle: bool = True
+    alloc_big: int = 0
+    alloc_little: int = 0
+    in_big: bool = False
+    started: bool = False
+
+    def __post_init__(self):
+        self.spec = FakeSpec(self.can_bundle)
+        self.inst = FakeInst(self.app_id)
+
+    def unfinished_task_count(self):
+        return self.tasks_left
+
+    def unfinished_bundle_count(self):
+        return self.bundles_left
+
+
+@dataclass
+class FakeScheduler:
+    big_total: int = 2
+    little_total: int = 4
+    c_wait: List[FakeApp] = field(default_factory=list)
+    s_big: List[FakeApp] = field(default_factory=list)
+    s_little: List[FakeApp] = field(default_factory=list)
+    committed: int = 0
+
+    def committed_little(self):
+        return self.committed
+
+
+def run_allocation(sched, o_big=1, o_little=3):
+    allocate_big_little(sched, lambda app: o_big, lambda app: o_little)
+
+
+class TestPrimaryAllocation:
+    def test_bundleable_app_gets_big_slots_first(self):
+        app = FakeApp(0, tasks_left=6, bundles_left=2)
+        sched = FakeScheduler(c_wait=[app])
+        run_allocation(sched, o_big=2)
+        assert app.in_big
+        assert app.alloc_big == 2
+        assert app.alloc_little == 0
+        assert app in sched.s_big
+        assert app not in sched.c_wait
+
+    def test_non_bundleable_app_gets_little_slots(self):
+        app = FakeApp(0, tasks_left=5, bundles_left=0, can_bundle=False)
+        sched = FakeScheduler(c_wait=[app])
+        run_allocation(sched, o_little=3)
+        assert not app.in_big
+        # 3 primary (O_L) + 1 leftover redistributed (delta capped at 2,
+        # but only one of the 4 Little slots remains unpromised).
+        assert app.alloc_little == 4
+        assert app in sched.s_little
+
+    def test_big_reservation_blocks_further_big_binding(self):
+        bound = FakeApp(0, tasks_left=6, bundles_left=2)
+        bound.in_big = True
+        waiting_a = FakeApp(1, tasks_left=6, bundles_left=2)
+        waiting_b = FakeApp(2, tasks_left=6, bundles_left=2)
+        sched = FakeScheduler(s_big=[bound], c_wait=[waiting_a, waiting_b])
+        run_allocation(sched)
+        # one big slot reserved by `bound`, so only one more app binds big
+        assert waiting_a.in_big
+        assert not waiting_b.in_big
+
+    def test_little_grant_capped_by_l_left(self):
+        first = FakeApp(0, tasks_left=6, bundles_left=0, can_bundle=False)
+        second = FakeApp(1, tasks_left=6, bundles_left=0, can_bundle=False)
+        sched = FakeScheduler(c_wait=[first, second])
+        run_allocation(sched, o_little=3)
+        assert first.alloc_little == 3
+        assert second.alloc_little == 1  # only one slot left of 4
+
+    def test_no_allocation_when_everything_busy(self):
+        bound = FakeApp(0, tasks_left=6, bundles_left=2)
+        little_bound = FakeApp(1, tasks_left=6, bundles_left=0)
+        little_bound.alloc_little = 4
+        bound2 = FakeApp(2, tasks_left=6, bundles_left=2)
+        bound2.in_big = True
+        waiting = FakeApp(3, tasks_left=3, bundles_left=1)
+        sched = FakeScheduler(
+            s_big=[bound, bound2],
+            s_little=[little_bound],
+            c_wait=[waiting],
+            committed=4,
+        )
+        run_allocation(sched)
+        assert not waiting.in_big
+        assert waiting.alloc_little == 0
+
+
+class TestRebinding:
+    def test_unstarted_little_app_rebinds_to_big(self):
+        app = FakeApp(0, tasks_left=6, bundles_left=2)
+        app.alloc_little = 3
+        sched = FakeScheduler(s_little=[app])
+        run_allocation(sched)
+        assert app.in_big
+        assert app.alloc_big >= 1
+        assert app in sched.s_big
+        assert app not in sched.s_little
+
+    def test_started_little_app_not_rebound(self):
+        app = FakeApp(0, tasks_left=6, bundles_left=2, started=True)
+        app.alloc_little = 3
+        sched = FakeScheduler(s_little=[app], committed=3)
+        run_allocation(sched)
+        assert not app.in_big
+        assert app in sched.s_little
+
+    def test_rebinding_keeps_arrival_order(self):
+        older = FakeApp(0, tasks_left=6, bundles_left=2)
+        older.alloc_little = 2
+        newer = FakeApp(1, tasks_left=6, bundles_left=2)
+        # Fill big slots so neither can bind big after rebinding.
+        bound_a = FakeApp(2, tasks_left=6, bundles_left=2)
+        bound_b = FakeApp(3, tasks_left=6, bundles_left=2)
+        sched = FakeScheduler(
+            s_little=[older], c_wait=[newer], s_big=[bound_a, bound_b]
+        )
+        run_allocation(sched, o_little=2)
+        # big slots fully reserved: both apps got little slots, oldest first
+        assert older.alloc_little >= newer.alloc_little
+
+
+class TestRedistribution:
+    def test_leftover_slots_spread_to_bound_apps(self):
+        app = FakeApp(0, tasks_left=6, bundles_left=0, can_bundle=False, started=True)
+        app.alloc_little = 2
+        sched = FakeScheduler(s_little=[app], committed=2)
+        run_allocation(sched)
+        # 4 total - min(2, 6) promised = 2 left; delta = 6-2=4 -> +2
+        assert app.alloc_little == 4
+
+    def test_redistribution_capped_by_remaining_tasks(self):
+        app = FakeApp(0, tasks_left=3, bundles_left=0, can_bundle=False, started=True)
+        app.alloc_little = 2
+        sched = FakeScheduler(s_little=[app], committed=2)
+        run_allocation(sched)
+        assert app.alloc_little == 3
+
+    def test_front_of_queue_priority(self):
+        first = FakeApp(0, tasks_left=9, bundles_left=0, can_bundle=False, started=True)
+        first.alloc_little = 1
+        second = FakeApp(1, tasks_left=9, bundles_left=0, can_bundle=False, started=True)
+        second.alloc_little = 1
+        sched = FakeScheduler(s_little=[first, second], committed=2)
+        run_allocation(sched)
+        assert first.alloc_little > second.alloc_little
+
+
+class TestEarlyExit:
+    def test_returns_when_no_slots_at_all(self):
+        bound = [FakeApp(i, tasks_left=6, bundles_left=2) for i in range(2)]
+        waiting = FakeApp(9, tasks_left=6, bundles_left=2)
+        sched = FakeScheduler(s_big=bound, c_wait=[waiting], committed=4)
+        run_allocation(sched)
+        assert waiting.alloc_big == 0
+        assert waiting.alloc_little == 0
+        assert waiting in sched.c_wait

@@ -1,0 +1,82 @@
+"""Unit tests for 3-in-1 bundling: criterion, timing models, tiling."""
+
+import pytest
+
+from repro.core.bundling import (
+    bundle_tiling,
+    idle_subslot_cycles,
+    parallel_time_ms,
+    serial_preferred,
+    serial_time_ms,
+)
+
+
+class TestTimingModels:
+    def test_parallel_time(self):
+        # 3 stages, Tmax=10, B=5 -> 10 * (5 + 2)
+        assert parallel_time_ms([10.0, 5.0, 8.0], 5) == pytest.approx(70.0)
+
+    def test_serial_time(self):
+        assert serial_time_ms([10.0, 5.0, 8.0], 5) == pytest.approx(115.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_time_ms([], 5)
+        with pytest.raises(ValueError):
+            serial_time_ms([1.0, -2.0, 3.0], 5)
+        with pytest.raises(ValueError):
+            serial_preferred([1.0, 2.0, 3.0], 0)
+
+
+class TestCriterion:
+    def test_balanced_tasks_prefer_parallel(self):
+        # equal stage times: parallel strictly dominates for B >= 2
+        assert not serial_preferred([10.0, 10.0, 10.0], 10)
+
+    def test_skewed_tasks_small_batch_prefer_serial(self):
+        # one dominant stage, tiny batch: pipeline fill not amortized
+        assert serial_preferred([30.0, 1.0, 1.0], 1)
+
+    def test_crossover_matches_paper_formula(self):
+        times = [20.0, 5.0, 5.0]
+        for batch in range(1, 40):
+            parallel = max(times) * (batch + 2)
+            serial = sum(times) * batch
+            assert serial_preferred(times, batch) == (parallel > serial)
+
+    def test_single_item_batch(self):
+        # B=1 with skewed members: the pipeline fill dominates, serial wins.
+        assert serial_preferred([10.0, 1.0, 1.0], 1)
+        # Perfectly balanced members tie (criterion is strict), so parallel.
+        assert not serial_preferred([10.0, 10.0, 10.0], 1)
+
+
+class TestIdleCycles:
+    def test_balanced_bundle_no_idle(self):
+        assert idle_subslot_cycles([10.0, 10.0, 10.0], 5) == pytest.approx(0.0)
+
+    def test_skew_creates_idle(self):
+        idle = idle_subslot_cycles([10.0, 5.0, 5.0], 5)
+        assert idle == pytest.approx((5.0 + 5.0) * 7)
+
+    def test_grows_with_bundle_size(self):
+        small = idle_subslot_cycles([10.0, 5.0, 5.0], 10)
+        large = idle_subslot_cycles([10.0, 5.0, 5.0, 5.0], 10)
+        assert large > small
+
+
+class TestTiling:
+    def test_exact_tiling(self):
+        assert bundle_tiling(6) == [(0, 1, 2), (3, 4, 5)]
+        assert bundle_tiling(9) == [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+
+    def test_untileable_rejected(self):
+        with pytest.raises(ValueError):
+            bundle_tiling(7)
+
+    def test_other_bundle_sizes(self):
+        assert bundle_tiling(6, bundle_size=2) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            bundle_tiling(6, bundle_size=0)

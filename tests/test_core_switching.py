@@ -1,0 +1,135 @@
+"""Unit tests for D_switch (Eq. 1) and the Schmitt-trigger switch loop."""
+
+import pytest
+
+from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+from repro.config import DEFAULT_PARAMETERS
+from repro.core.dswitch import DSwitchCalculator
+from repro.core.switching import SchmittTrigger, SwitchDecision
+from repro.fpga import BoardConfig, FPGABoard
+from repro.schedulers import NimblockScheduler
+from repro.sim import Engine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_instance_ids()
+
+
+class TestSchmittTrigger:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SchmittTrigger(threshold_up=0.01, threshold_down=0.1)
+        with pytest.raises(ValueError):
+            SchmittTrigger(threshold_up=1.5, threshold_down=0.1)
+
+    def test_up_switch_at_t1(self):
+        trigger = SchmittTrigger(threshold_up=0.1, threshold_down=0.0125)
+        event = trigger.update(0.0, 0.11)
+        assert event.decision is SwitchDecision.TO_BIG_LITTLE
+        assert trigger.mode is BoardConfig.BIG_LITTLE
+
+    def test_down_switch_at_t2(self):
+        trigger = SchmittTrigger(mode=BoardConfig.BIG_LITTLE)
+        event = trigger.update(0.0, 0.01)
+        assert event.decision is SwitchDecision.TO_ONLY_LITTLE
+        assert trigger.mode is BoardConfig.ONLY_LITTLE
+
+    def test_hysteresis_prevents_oscillation(self):
+        trigger = SchmittTrigger(threshold_up=0.1, threshold_down=0.0125)
+        # Oscillate inside the buffer zone: no switches should fire.
+        for i, value in enumerate([0.05, 0.09, 0.03, 0.08, 0.02, 0.09]):
+            event = trigger.update(float(i), value)
+            assert event.decision is SwitchDecision.HOLD
+        assert trigger.switch_count == 0
+
+    def test_full_cycle(self):
+        trigger = SchmittTrigger()
+        assert trigger.update(0.0, 0.15).decision is SwitchDecision.TO_BIG_LITTLE
+        assert trigger.update(1.0, 0.05).decision is SwitchDecision.HOLD
+        assert trigger.update(2.0, 0.01).decision is SwitchDecision.TO_ONLY_LITTLE
+        assert trigger.switch_count == 2
+
+    def test_prewarm_anticipates_rising(self):
+        trigger = SchmittTrigger()
+        trigger.update(0.0, 0.02)
+        event = trigger.update(1.0, 0.05)  # rising, inside buffer zone
+        assert event.prewarm is BoardConfig.BIG_LITTLE
+
+    def test_prewarm_anticipates_falling_in_big_little(self):
+        trigger = SchmittTrigger(mode=BoardConfig.BIG_LITTLE)
+        trigger.update(0.0, 0.08)
+        event = trigger.update(1.0, 0.05)  # falling toward T2
+        assert event.prewarm is BoardConfig.ONLY_LITTLE
+
+    def test_no_prewarm_outside_buffer(self):
+        trigger = SchmittTrigger()
+        trigger.update(0.0, 0.005)
+        event = trigger.update(1.0, 0.006)
+        assert event.prewarm is None
+
+    def test_value_range_validated(self):
+        with pytest.raises(ValueError):
+            SchmittTrigger().update(0.0, 1.5)
+
+
+class TestDSwitchCalculator:
+    def _loaded_scheduler(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = NimblockScheduler(board)
+        for name in ("IC", "AN", "OF"):
+            scheduler.submit(ApplicationInstance(BENCHMARKS[name], 10, 0.0))
+        engine.run(until=3000.0)
+        return engine, scheduler
+
+    def test_compute_in_unit_range(self):
+        engine, scheduler = self._loaded_scheduler()
+        calc = DSwitchCalculator()
+        sample = calc.compute(scheduler)
+        assert 0.0 <= sample.value <= 1.0
+        assert sample.window_pr > 0
+
+    def test_window_resets_after_compute(self):
+        engine, scheduler = self._loaded_scheduler()
+        calc = DSwitchCalculator()
+        calc.compute(scheduler)
+        assert scheduler.stats.window_pr == 0
+        assert scheduler.stats.window_blocked == 0
+
+    def test_zero_when_no_pr(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = NimblockScheduler(board)
+        calc = DSwitchCalculator()
+        sample = calc.compute(scheduler)
+        assert sample.value == 0.0
+
+    def test_period_gating(self):
+        engine, scheduler = self._loaded_scheduler()
+        calc = DSwitchCalculator(period=4, min_window_pr=0)
+        results = [calc.on_candidate_update(scheduler) for _ in range(8)]
+        emitted = [r for r in results if r is not None]
+        assert len(emitted) == 2
+
+    def test_min_window_suppresses_noise(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = NimblockScheduler(board)
+        calc = DSwitchCalculator(period=1, min_window_pr=5)
+        # no PRs recorded yet: every update is suppressed
+        assert calc.on_candidate_update(scheduler) is None
+        assert calc.samples == []
+
+    def test_worst_case_batch_one(self):
+        """N_batch == N_apps (batch 1 each) maximizes the queue factor."""
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = NimblockScheduler(board)
+        for name in ("IC", "AN"):
+            scheduler.submit(ApplicationInstance(BENCHMARKS[name], 1, 0.0))
+        engine.run(until=1200.0)
+        calc = DSwitchCalculator()
+        sample = calc.compute(scheduler)
+        if sample.candidate_apps:
+            assert sample.candidate_batch == sample.candidate_apps

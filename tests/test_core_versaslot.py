@@ -1,0 +1,142 @@
+"""Behavioural tests for the VersaSlot schedulers (OL and BL)."""
+
+import pytest
+
+from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+from repro.config import DEFAULT_PARAMETERS
+from repro.core import VersaSlotBigLittle, VersaSlotOnlyLittle, make_versaslot
+from repro.fpga import BoardConfig, FPGABoard, SlotKind
+from repro.schedulers import NimblockScheduler
+from repro.schedulers.runtime import BundleRun
+from repro.sim import Engine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_instance_ids()
+
+
+def run_with(scheduler_cls, config, specs, spacing_ms=0.0):
+    engine = Engine()
+    board = FPGABoard(engine, config, DEFAULT_PARAMETERS, name="vs")
+    scheduler = scheduler_cls(board, DEFAULT_PARAMETERS)
+
+    def driver():
+        for index, (name, batch) in enumerate(specs):
+            if index and spacing_ms:
+                yield engine.timeout(spacing_ms)
+            scheduler.submit(ApplicationInstance(BENCHMARKS[name], batch, engine.now))
+
+    engine.process(driver())
+    engine.run(until=100_000_000)
+    return engine, board, scheduler
+
+
+class TestVersaSlotOnlyLittle:
+    def test_completes_workload(self):
+        _, _, sched = run_with(
+            VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE, [("IC", 10), ("OF", 8)]
+        )
+        assert sched.stats.completions == 2
+
+    def test_dual_core_eliminates_launch_blocking(self):
+        specs = [("IC", 20), ("AN", 20), ("OF", 20), ("LeNet", 20)]
+        _, _, nim = run_with(NimblockScheduler, BoardConfig.ONLY_LITTLE, specs, 100.0)
+        _, _, ol = run_with(VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE, specs, 100.0)
+        assert ol.stats.launch_blocked < nim.stats.launch_blocked
+
+    def test_dual_core_faster_under_load(self):
+        specs = [("IC", 20), ("AN", 20), ("OF", 20), ("LeNet", 20), ("3DR", 20)]
+        _, _, nim = run_with(NimblockScheduler, BoardConfig.ONLY_LITTLE, specs, 100.0)
+        _, _, ol = run_with(VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE, specs, 100.0)
+        nim_mean = sum(r.response_ms for r in nim.stats.responses) / 5
+        ol_mean = sum(r.response_ms for r in ol.stats.responses) / 5
+        assert ol_mean < nim_mean
+
+
+class TestVersaSlotBigLittle:
+    def test_requires_big_little_board(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        with pytest.raises(ValueError, match="Big.Little"):
+            VersaSlotBigLittle(board)
+
+    def test_completes_workload(self):
+        _, _, sched = run_with(
+            VersaSlotBigLittle, BoardConfig.BIG_LITTLE, [("IC", 10), ("OF", 8), ("3DR", 6)]
+        )
+        assert sched.stats.completions == 3
+
+    def test_bundleable_app_uses_big_slots(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        scheduler.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)
+        app = scheduler.apps[0]
+        assert app.in_big
+        assert app.used_big >= 1
+        assert app.used_little == 0
+
+    def test_fewer_prs_than_only_little(self):
+        specs = [("IC", 15), ("AN", 15), ("OF", 15)]
+        _, _, ol = run_with(VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE, specs, 200.0)
+        _, _, bl = run_with(VersaSlotBigLittle, BoardConfig.BIG_LITTLE, specs, 200.0)
+        assert bl.stats.pr_count < ol.stats.pr_count
+
+    def test_bundle_runs_created(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        scheduler.submit(ApplicationInstance(BENCHMARKS["3DR"], 8, 0.0))
+        engine.run(until=400.0)
+        app = scheduler.apps[0]
+        assert any(isinstance(run, BundleRun) for run in app.loaded.values())
+
+    def test_big_bound_app_finishes_entirely_in_big(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        scheduler.submit(ApplicationInstance(BENCHMARKS["OF"], 10, 0.0))
+        used_little = []
+
+        def watcher():
+            while scheduler.stats.completions < 1:
+                yield engine.timeout(100.0)
+                used_little.append(scheduler.apps[0].used_little)
+
+        engine.process(watcher())
+        engine.run(until=100_000_000)
+        assert scheduler.stats.completions == 1
+        assert all(u == 0 for u in used_little)
+
+    def test_overflow_apps_use_little_slots(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        for name in ("IC", "AN", "OF", "LeNet"):
+            scheduler.submit(ApplicationInstance(BENCHMARKS[name], 15, 0.0))
+        engine.run(until=1500.0)
+        little_users = [a for a in scheduler.apps if a.used_little > 0]
+        big_users = [a for a in scheduler.apps if a.used_big > 0]
+        assert big_users and little_users
+
+    def test_serial_parallel_choice_follows_criterion(self):
+        from repro.core.bundling import serial_preferred
+
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+        app_run = scheduler.submit(ApplicationInstance(BENCHMARKS["IC"], 2, 0.0))
+        bundle = BENCHMARKS["IC"].bundles[0]
+        expected = serial_preferred(BENCHMARKS["IC"].bundle_exec_times(bundle), 2)
+        assert scheduler.choose_serial_bundle(app_run, bundle) == expected
+
+
+class TestFactory:
+    def test_make_versaslot_matches_board(self):
+        engine = Engine()
+        ol_board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        bl_board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        assert isinstance(make_versaslot(ol_board), VersaSlotOnlyLittle)
+        assert isinstance(make_versaslot(bl_board), VersaSlotBigLittle)

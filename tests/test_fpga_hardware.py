@@ -1,0 +1,292 @@
+"""Unit tests for the FPGA hardware substrate (PS, PCAP, slots, links)."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMETERS
+from repro.fpga import (
+    AuroraLink,
+    BitstreamLibrary,
+    BoardConfig,
+    FPGABoard,
+    PCAP,
+    ProcessingSystem,
+    ResourceVector,
+    Slot,
+    SlotKind,
+    SlotOccupancy,
+    SlotState,
+    build_slots,
+    connect_boards,
+    fabric_capacity,
+)
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestResourceVector:
+    def test_addition_and_subtraction(self):
+        a = ResourceVector(0.5, 0.4)
+        b = ResourceVector(0.2, 0.1)
+        assert a + b == ResourceVector(0.7, 0.5)
+        assert (a - b).lut == pytest.approx(0.3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(-0.1, 0.5)
+
+    def test_fits_within(self):
+        assert ResourceVector(0.5, 0.5).fits_within(ResourceVector(1.0, 1.0))
+        assert not ResourceVector(1.1, 0.5).fits_within(ResourceVector(1.0, 1.0))
+
+    def test_fraction_of(self):
+        frac = ResourceVector(1.0, 0.5).fraction_of(ResourceVector(2.0, 2.0))
+        assert frac == ResourceVector(0.5, 0.25)
+
+    def test_fraction_of_zero_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1.0, 1.0).fraction_of(ResourceVector(0.0, 1.0))
+
+    def test_total(self):
+        total = ResourceVector.total([ResourceVector(0.1, 0.2)] * 3)
+        assert total.lut == pytest.approx(0.3)
+        assert total.ff == pytest.approx(0.6)
+
+
+class TestProcessingSystem:
+    def test_two_cores_by_default(self, engine):
+        ps = ProcessingSystem(engine)
+        assert len(ps.cores) == 2
+        assert ps.scheduler_core is ps.core(0)
+
+    def test_pr_core_selection(self, engine):
+        ps = ProcessingSystem(engine)
+        assert ps.pr_core(dual_core=True) is ps.core(1)
+        assert ps.pr_core(dual_core=False) is ps.core(0)
+
+    def test_single_core_fallback(self, engine):
+        ps = ProcessingSystem(engine, core_count=1)
+        assert ps.pr_core(dual_core=True) is ps.core(0)
+
+    def test_zero_cores_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ProcessingSystem(engine, core_count=0)
+
+
+class TestPCAP:
+    def test_load_takes_bandwidth_time(self, engine):
+        pcap = PCAP(engine, DEFAULT_PARAMETERS)
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        stream = library.register("t", SlotKind.LITTLE, size_mb=14.5)
+
+        def loader():
+            yield from pcap.load(stream)
+            return engine.now
+
+        process = engine.process(loader())
+        engine.run()
+        assert process.value == pytest.approx(100.0)
+        assert pcap.loads == 1
+
+    def test_serial_loads_queue(self, engine):
+        pcap = PCAP(engine, DEFAULT_PARAMETERS)
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        stream = library.register("t", SlotKind.LITTLE, size_mb=14.5)
+        finish_times = []
+
+        def loader():
+            yield from pcap.load(stream)
+            finish_times.append(engine.now)
+
+        engine.process(loader())
+        engine.process(loader())
+        engine.run()
+        assert finish_times == [pytest.approx(100.0), pytest.approx(200.0)]
+        assert pcap.contended_loads == 1
+        assert pcap.mean_wait_ms() == pytest.approx(50.0)
+
+    def test_utilization(self, engine):
+        pcap = PCAP(engine, DEFAULT_PARAMETERS)
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        stream = library.register("t", SlotKind.LITTLE, size_mb=14.5)
+
+        def loader():
+            yield from pcap.load(stream)
+
+        engine.process(loader())
+        engine.run(until=200.0)
+        assert pcap.utilization() == pytest.approx(0.5)
+
+
+class TestBitstreamLibrary:
+    def test_register_default_sizes(self):
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        little = library.register("t", SlotKind.LITTLE)
+        big = library.register("t", SlotKind.BIG)
+        assert little.size_mb == DEFAULT_PARAMETERS.little_bitstream_mb
+        assert big.size_mb == DEFAULT_PARAMETERS.big_bitstream_mb
+
+    def test_register_idempotent(self):
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        first = library.register("t", SlotKind.LITTLE)
+        second = library.register("t", SlotKind.LITTLE)
+        assert first is second
+        assert len(library) == 1
+
+    def test_lookup_missing_raises(self):
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        with pytest.raises(KeyError, match="offline flow"):
+            library.lookup("ghost", SlotKind.LITTLE)
+
+    def test_stage_copies_missing_only(self):
+        src = BitstreamLibrary(DEFAULT_PARAMETERS)
+        src.register("a", SlotKind.LITTLE)
+        src.register("b", SlotKind.BIG)
+        dst = BitstreamLibrary(DEFAULT_PARAMETERS)
+        dst.register("a", SlotKind.LITTLE)
+        assert dst.stage(src) == 1
+        assert dst.contains("b", SlotKind.BIG)
+
+    def test_full_fabric_bitstream(self):
+        library = BitstreamLibrary(DEFAULT_PARAMETERS)
+        stream = library.full_fabric("app")
+        assert stream.size_mb == DEFAULT_PARAMETERS.full_bitstream_mb
+
+
+class TestSlots:
+    def test_big_little_layout(self, engine):
+        slots = build_slots(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        bigs = [s for s in slots if s.kind is SlotKind.BIG]
+        littles = [s for s in slots if s.kind is SlotKind.LITTLE]
+        assert len(bigs) == 2
+        assert len(littles) == 4
+        assert bigs[0].capacity == ResourceVector(2.0, 2.0)
+
+    def test_only_little_layout(self, engine):
+        slots = build_slots(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        assert len(slots) == 8
+        assert all(s.kind is SlotKind.LITTLE for s in slots)
+
+    def test_fabric_capacity(self, engine):
+        slots = build_slots(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        assert fabric_capacity(slots) == ResourceVector(8.0, 8.0)
+
+    def test_state_machine_happy_path(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        slot.begin_reconfiguration()
+        assert slot.state is SlotState.RECONFIGURING
+        occupancy = SlotOccupancy("task", 1, ResourceVector(0.5, 0.4))
+        slot.complete_reconfiguration(occupancy)
+        assert slot.state is SlotState.LOADED
+        assert slot.reconfigurations == 1
+        slot.release()
+        assert slot.is_idle
+
+    def test_double_reconfiguration_rejected(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        slot.begin_reconfiguration()
+        with pytest.raises(RuntimeError):
+            slot.begin_reconfiguration()
+
+    def test_complete_without_begin_rejected(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        with pytest.raises(RuntimeError):
+            slot.complete_reconfiguration(SlotOccupancy("t", 1, ResourceVector(0.1, 0.1)))
+
+    def test_oversized_payload_rejected(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        slot.begin_reconfiguration()
+        with pytest.raises(ValueError):
+            slot.complete_reconfiguration(SlotOccupancy("t", 1, ResourceVector(1.5, 0.5)))
+
+    def test_release_idle_rejected(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        with pytest.raises(RuntimeError):
+            slot.release()
+
+    def test_observers_notified(self, engine):
+        slot = Slot(engine, 0, SlotKind.LITTLE, ResourceVector(1.0, 1.0))
+        events = []
+        slot.observers.append(lambda s, occ: events.append(occ))
+        slot.begin_reconfiguration()
+        slot.complete_reconfiguration(SlotOccupancy("t", 1, ResourceVector(0.5, 0.5)))
+        slot.release()
+        assert events[0] is None
+        assert events[1].payload_name == "t"
+        assert events[2] is None
+
+
+class TestBoard:
+    def test_board_assembly(self, engine):
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE)
+        assert board.big_slot_count == 2
+        assert board.little_slot_count == 4
+        assert board.pcap is not None
+        assert len(board.ps.cores) == 2
+
+    def test_idle_slot_queries(self, engine):
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE)
+        slot = board.idle_slot(SlotKind.BIG)
+        assert slot is not None
+        slot.begin_reconfiguration()
+        assert len(board.idle_slots(SlotKind.BIG)) == 1
+
+    def test_connect_boards_shares_link(self, engine):
+        a = FPGABoard(engine, BoardConfig.ONLY_LITTLE, name="a")
+        b = FPGABoard(engine, BoardConfig.BIG_LITTLE, name="b")
+        link = connect_boards(a, b)
+        assert a.link is link
+        assert b.link is link
+
+    def test_connect_different_engines_rejected(self, engine):
+        a = FPGABoard(engine, BoardConfig.ONLY_LITTLE)
+        b = FPGABoard(Engine(), BoardConfig.ONLY_LITTLE)
+        with pytest.raises(ValueError):
+            connect_boards(a, b)
+
+
+class TestAuroraLink:
+    def test_transfer_time(self, engine):
+        link = AuroraLink(engine, DEFAULT_PARAMETERS)
+
+        def mover():
+            duration = yield from link.transfer(12.5, fixed_ms=0.0)
+            return duration
+
+        process = engine.process(mover())
+        engine.run()
+        assert process.value == pytest.approx(10.0)
+        assert link.total_mb == 12.5
+
+    def test_fixed_cost_default(self, engine):
+        link = AuroraLink(engine, DEFAULT_PARAMETERS)
+
+        def mover():
+            duration = yield from link.transfer(0.0)
+            return duration
+
+        process = engine.process(mover())
+        engine.run()
+        assert process.value == pytest.approx(DEFAULT_PARAMETERS.migration_fixed_ms)
+
+    def test_transfers_serialize(self, engine):
+        link = AuroraLink(engine, DEFAULT_PARAMETERS)
+        finish = []
+
+        def mover():
+            yield from link.transfer(125.0, fixed_ms=0.0)
+            finish.append(engine.now)
+
+        engine.process(mover())
+        engine.process(mover())
+        engine.run()
+        assert finish == [pytest.approx(100.0), pytest.approx(200.0)]
+        assert link.mean_session_ms() == pytest.approx(100.0)
+
+    def test_negative_size_rejected(self, engine):
+        link = AuroraLink(engine, DEFAULT_PARAMETERS)
+        with pytest.raises(ValueError):
+            list(link.transfer(-1.0))

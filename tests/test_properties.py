@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bundling import parallel_time_ms, serial_preferred, serial_time_ms
+from repro.fpga import ResourceVector
+from repro.sim import Engine, Resource
+from repro.workloads import Condition, WorkloadGenerator, dumps, loads
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+durations = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False), min_size=1, max_size=12
+)
+
+
+@given(durations=durations, capacity=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_resource_never_oversubscribed(durations, capacity):
+    """At no point do granted units exceed capacity, and all work completes."""
+    engine = Engine()
+    resource = Resource(engine, capacity=capacity)
+    completed = []
+    violations = []
+
+    def worker(duration):
+        request = resource.acquire()
+        yield request
+        if resource.in_use > capacity:
+            violations.append(resource.in_use)
+        yield engine.timeout(duration)
+        resource.release()
+        completed.append(duration)
+
+    for duration in durations:
+        engine.process(worker(duration))
+    engine.run()
+    assert violations == []
+    assert len(completed) == len(durations)
+    assert resource.in_use == 0
+
+
+@given(durations=durations)
+@settings(max_examples=60, deadline=None)
+def test_unit_resource_serializes_total_time(durations):
+    """A mutex's makespan equals the sum of hold times."""
+    engine = Engine()
+    resource = Resource(engine, capacity=1)
+
+    def worker(duration):
+        request = resource.acquire()
+        yield request
+        yield engine.timeout(duration)
+        resource.release()
+
+    for duration in durations:
+        engine.process(worker(duration))
+    engine.run()
+    assert engine.now == sum(durations) or abs(engine.now - sum(durations)) < 1e-6
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20)
+)
+@settings(max_examples=60, deadline=None)
+def test_engine_clock_monotone(delays):
+    engine = Engine()
+    observed = []
+
+    def watcher(delay):
+        yield engine.timeout(delay)
+        observed.append(engine.now)
+
+    for delay in delays:
+        engine.process(watcher(delay))
+    engine.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+# ---------------------------------------------------------------------------
+# Resource vectors
+# ---------------------------------------------------------------------------
+
+vectors = st.builds(
+    ResourceVector,
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=100)
+def test_resvec_addition_commutative(a, b):
+    assert (a + b).lut == (b + a).lut
+    assert (a + b).ff == (b + a).ff
+
+
+@given(v=vectors, factor=st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=100)
+def test_resvec_scale_monotone(v, factor):
+    scaled = v.scale(factor)
+    assert scaled.lut == v.lut * factor
+    assert scaled.ff == v.ff * factor
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=100)
+def test_resvec_fits_within_sum(a, b):
+    assert a.fits_within(a + b)
+
+
+# ---------------------------------------------------------------------------
+# Bundling criterion
+# ---------------------------------------------------------------------------
+
+bundle_times = st.lists(
+    st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=4
+)
+
+
+@given(times=bundle_times, batch=st.integers(min_value=1, max_value=60))
+@settings(max_examples=200)
+def test_criterion_picks_faster_mode(times, batch):
+    """The serial/parallel choice always picks the smaller modeled latency."""
+    serial = serial_time_ms(times, batch)
+    parallel = parallel_time_ms(times, batch)
+    if serial_preferred(times, batch):
+        assert serial <= parallel
+    else:
+        assert parallel <= serial
+
+
+@given(times=bundle_times)
+@settings(max_examples=100)
+def test_parallel_wins_for_large_batches(times):
+    """With enough items, pipelining always amortizes its fill (strict skew)."""
+    if sum(times) > max(times) * 1.01:  # strictly more than one busy stage
+        big_batch = 10_000
+        assert not serial_preferred(times, big_batch)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n=st.integers(min_value=1, max_value=40))
+@settings(max_examples=50, deadline=None)
+def test_workload_trace_roundtrip(seed, n):
+    condition = random.Random(seed).choice(list(Condition))
+    arrivals = WorkloadGenerator(seed).sequence(condition, n_apps=n)
+    assert loads(dumps(arrivals)) == arrivals
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_workload_batches_in_range(seed):
+    arrivals = WorkloadGenerator(seed).sequence(Condition.STRESS, n_apps=30)
+    assert all(5 <= a.batch_size <= 30 for a in arrivals)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 invariants (driven with random fake populations)
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_allocation_never_exceeds_fabric(data):
+    from tests.test_core_allocation import FakeApp, FakeScheduler, run_allocation
+
+    n_wait = data.draw(st.integers(min_value=0, max_value=6))
+    n_little = data.draw(st.integers(min_value=0, max_value=3))
+    apps_wait = [
+        FakeApp(
+            i,
+            tasks_left=data.draw(st.integers(min_value=1, max_value=9)),
+            bundles_left=data.draw(st.integers(min_value=0, max_value=3)),
+            can_bundle=data.draw(st.booleans()),
+        )
+        for i in range(n_wait)
+    ]
+    apps_little = []
+    committed = 0
+    little_budget = 4  # keep the generated starting state consistent
+    for j in range(n_little):
+        app = FakeApp(
+            100 + j,
+            tasks_left=data.draw(st.integers(min_value=1, max_value=9)),
+            bundles_left=0,
+            can_bundle=False,
+            started=data.draw(st.booleans()),
+        )
+        app.alloc_little = data.draw(
+            st.integers(min_value=0, max_value=min(2, little_budget))
+        )
+        little_budget -= app.alloc_little
+        committed += app.alloc_little if app.started else 0
+        apps_little.append(app)
+    sched = FakeScheduler(
+        c_wait=apps_wait, s_little=apps_little, committed=min(committed, 4)
+    )
+    run_allocation(sched, o_big=data.draw(st.integers(min_value=1, max_value=2)),
+                   o_little=data.draw(st.integers(min_value=1, max_value=4)))
+    # Little-slot promises never exceed the fabric.
+    promised = sum(
+        min(app.alloc_little, app.unfinished_task_count()) for app in sched.s_little
+    )
+    assert promised <= sched.little_total
+    # Big binding never exceeds the number of Big slots plus time-sharing
+    # admissions (one reservation per bound app).
+    assert len([a for a in sched.s_big if a.unfinished_bundle_count()]) <= \
+        sched.big_total + len(apps_wait)
+    # No app is in two queues at once.
+    for app in apps_wait + apps_little:
+        membership = sum(app in q for q in (sched.c_wait, sched.s_big, sched.s_little))
+        assert membership == 1

@@ -1,0 +1,129 @@
+"""Unit tests for the simulation engine: ordering, clock, determinism."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Engine
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=10.0).now == 10.0
+
+    def test_run_until_advances_clock_to_limit(self):
+        engine = Engine()
+        engine.timeout(3.0)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_run_until_past_raises(self):
+        engine = Engine(start_time=50.0)
+        with pytest.raises(ValueError):
+            engine.run(until=10.0)
+
+    def test_run_until_does_not_dispatch_later_events(self):
+        engine = Engine()
+        late = engine.timeout(10.0)
+        engine.run(until=5.0)
+        assert not late.processed
+
+    def test_peek_reports_next_event_time(self):
+        engine = Engine()
+        engine.timeout(7.0)
+        assert engine.peek() == 7.0
+
+    def test_peek_empty_is_inf(self):
+        assert Engine().peek() == float("inf")
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(EmptySchedule):
+            Engine().step()
+
+
+class TestOrdering:
+    def test_same_time_events_fifo(self):
+        engine = Engine()
+        order = []
+
+        def proc(tag):
+            yield engine.timeout(5.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            engine.process(proc(tag))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_deterministic_replay(self):
+        def build_and_run():
+            engine = Engine()
+            log = []
+
+            def worker(tag, delay):
+                yield engine.timeout(delay)
+                log.append((engine.now, tag))
+                yield engine.timeout(delay * 2)
+                log.append((engine.now, tag))
+
+            for i, tag in enumerate("abcde"):
+                engine.process(worker(tag, 1.0 + i * 0.5))
+            engine.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+    def test_events_dispatch_in_time_order(self):
+        engine = Engine()
+        times = []
+
+        def proc(delay):
+            yield engine.timeout(delay)
+            times.append(engine.now)
+
+        for delay in (5.0, 1.0, 3.0, 2.0, 4.0):
+            engine.process(proc(delay))
+        engine.run()
+        assert times == sorted(times)
+
+
+class TestRunUntilComplete:
+    def test_returns_process_value(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(1.0)
+            return "value"
+
+        process = engine.process(proc())
+        assert engine.run_until_complete(process) == "value"
+
+    def test_incomplete_process_raises(self):
+        engine = Engine()
+        never = engine.event()
+
+        def proc():
+            yield never
+
+        process = engine.process(proc())
+        with pytest.raises(RuntimeError):
+            engine.run_until_complete(process)
+
+    def test_failed_process_reraises(self):
+        engine = Engine()
+
+        def child():
+            yield engine.timeout(1.0)
+            raise KeyError("inner")
+
+        def outer():
+            try:
+                yield engine.process(child())
+            except KeyError:
+                raise ValueError("outer") from None
+            return None
+
+        process = engine.process(outer())
+        with pytest.raises(ValueError, match="outer"):
+            engine.run_until_complete(process)

@@ -1,0 +1,296 @@
+"""Unit tests for the event primitives of the simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, Timeout
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestEvent:
+    def test_fresh_event_is_pending(self, engine):
+        event = engine.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, engine):
+        event = engine.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        assert event.ok
+
+    def test_value_before_trigger_raises(self, engine):
+        with pytest.raises(RuntimeError):
+            engine.event().value
+
+    def test_double_succeed_raises(self, engine):
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, engine):
+        event = engine.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        with pytest.raises(TypeError):
+            engine.event().fail("not an exception")
+
+    def test_callbacks_run_on_dispatch(self, engine):
+        event = engine.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        engine.run()
+        assert seen == ["hello"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, engine):
+        timeout = engine.timeout(5.0)
+        engine.run()
+        assert timeout.processed
+        assert engine.now == 5.0
+
+    def test_carries_value(self, engine):
+        timeout = engine.timeout(1.0, value="done")
+        engine.run()
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, engine):
+        timeout = engine.timeout(0.0)
+        engine.run()
+        assert timeout.processed
+        assert engine.now == 0.0
+
+
+class TestProcess:
+    def test_return_value(self, engine):
+        def proc():
+            yield engine.timeout(3.0)
+            return "result"
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.value == "result"
+
+    def test_sequential_timeouts_accumulate(self, engine):
+        def proc():
+            yield engine.timeout(2.0)
+            yield engine.timeout(3.0)
+            return engine.now
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.value == 5.0
+
+    def test_wait_on_other_process(self, engine):
+        def child():
+            yield engine.timeout(4.0)
+            return "child-done"
+
+        def parent():
+            result = yield engine.process(child())
+            return result
+
+        process = engine.process(parent())
+        engine.run()
+        assert process.value == "child-done"
+
+    def test_wait_on_already_finished_process(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            return 7
+
+        child_proc = engine.process(child())
+
+        def parent():
+            yield engine.timeout(5.0)
+            value = yield child_proc
+            return value
+
+        parent_proc = engine.process(parent())
+        engine.run()
+        assert parent_proc.value == 7
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.process(42)
+
+    def test_yielding_non_event_fails_process(self, engine):
+        def proc():
+            yield "not an event"
+
+        engine.process(proc())
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_uncaught_exception_surfaces(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise ValueError("model bug")
+
+        engine.process(proc())
+        with pytest.raises(ValueError, match="model bug"):
+            engine.run()
+
+    def test_exception_consumed_by_waiter(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise ValueError("expected")
+
+        def parent():
+            try:
+                yield engine.process(child())
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        process = engine.process(parent())
+        engine.run()
+        assert process.value == "caught"
+
+    def test_is_alive_transitions(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        process = engine.process(proc())
+        assert process.is_alive
+        engine.run()
+        assert not process.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self, engine):
+        def victim():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as interrupt:
+                return (engine.now, f"interrupted:{interrupt.cause}")
+            return (engine.now, "completed")
+
+        process = engine.process(victim())
+
+        def attacker():
+            yield engine.timeout(5.0)
+            process.interrupt("preempt")
+
+        engine.process(attacker())
+        engine.run()
+        assert process.value == (5.0, "interrupted:preempt")
+
+    def test_interrupt_dead_process_raises(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        process = engine.process(proc())
+        engine.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self, engine):
+        def victim():
+            yield engine.timeout(100.0)
+
+        process = engine.process(victim())
+
+        def attacker():
+            yield engine.timeout(1.0)
+            process.interrupt()
+
+        engine.process(attacker())
+        with pytest.raises(Interrupt):
+            engine.run()
+
+    def test_interrupted_event_still_fires_for_others(self, engine):
+        shared = engine.event()
+        results = []
+
+        def waiter(tag):
+            try:
+                value = yield shared
+                results.append((tag, value))
+            except Interrupt:
+                results.append((tag, "interrupted"))
+
+        victim = engine.process(waiter("victim"))
+        engine.process(waiter("survivor"))
+
+        def driver():
+            yield engine.timeout(1.0)
+            victim.interrupt()
+            yield engine.timeout(1.0)
+            shared.succeed("payload")
+
+        engine.process(driver())
+        engine.run()
+        assert ("victim", "interrupted") in results
+        assert ("survivor", "payload") in results
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, engine):
+        t1 = engine.timeout(2.0, value="a")
+        t2 = engine.timeout(5.0, value="b")
+
+        def proc():
+            values = yield engine.all_of([t1, t2])
+            return (engine.now, values)
+
+        process = engine.process(proc())
+        engine.run()
+        when, values = process.value
+        assert when == 5.0
+        assert values == ["a", "b"]
+
+    def test_all_of_empty_fires_immediately(self, engine):
+        def proc():
+            yield engine.all_of([])
+            return engine.now
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.value == 0.0
+
+    def test_any_of_fires_on_first(self, engine):
+        t1 = engine.timeout(2.0, value="fast")
+        t2 = engine.timeout(5.0, value="slow")
+
+        def proc():
+            value = yield engine.any_of([t1, t2])
+            return (engine.now, value)
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.value == (2.0, "fast")
+
+    def test_any_of_empty_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.any_of([])
+
+    def test_all_of_failure_propagates(self, engine):
+        good = engine.timeout(1.0)
+        bad = engine.event()
+
+        def proc():
+            try:
+                yield engine.all_of([good, bad])
+            except ValueError:
+                return "failed"
+            return "ok"
+
+        process = engine.process(proc())
+        bad.fail(ValueError("child failed"))
+        engine.run()
+        assert process.value == "failed"

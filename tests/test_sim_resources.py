@@ -1,0 +1,182 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Engine, Resource, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def hold(engine, resource, duration, log, tag):
+    request = resource.acquire()
+    yield request
+    log.append(("acquired", tag, engine.now))
+    yield engine.timeout(duration)
+    resource.release()
+    log.append(("released", tag, engine.now))
+
+
+class TestResource:
+    def test_capacity_validated(self, engine):
+        with pytest.raises(ValueError):
+            Resource(engine, capacity=0)
+
+    def test_immediate_grant_when_free(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        engine.process(hold(engine, resource, 5.0, log, "a"))
+        engine.run()
+        assert log[0] == ("acquired", "a", 0.0)
+
+    def test_fifo_queueing(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        for tag in ("a", "b", "c"):
+            engine.process(hold(engine, resource, 10.0, log, tag))
+        engine.run()
+        acquisitions = [(tag, t) for kind, tag, t in log if kind == "acquired"]
+        assert acquisitions == [("a", 0.0), ("b", 10.0), ("c", 20.0)]
+
+    def test_capacity_two_runs_concurrently(self, engine):
+        resource = Resource(engine, capacity=2)
+        log = []
+        for tag in ("a", "b", "c"):
+            engine.process(hold(engine, resource, 10.0, log, tag))
+        engine.run()
+        acquisitions = [(tag, t) for kind, tag, t in log if kind == "acquired"]
+        assert acquisitions == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+    def test_release_when_idle_raises(self, engine):
+        resource = Resource(engine, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_available_and_queue_length(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        engine.process(hold(engine, resource, 10.0, log, "a"))
+        engine.process(hold(engine, resource, 10.0, log, "b"))
+        engine.run(until=5.0)
+        assert resource.available == 0
+        assert resource.queue_length == 1
+        engine.run()
+        assert resource.available == 1
+        assert resource.queue_length == 0
+
+    def test_cancelled_request_skipped(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        engine.process(hold(engine, resource, 10.0, log, "a"))
+        engine.run(until=1.0)
+        doomed = resource.acquire()
+        engine.process(hold(engine, resource, 5.0, log, "c"))
+        doomed.cancel()
+        engine.run()
+        acquired = [tag for kind, tag, _ in log if kind == "acquired"]
+        assert acquired == ["a", "c"]
+
+    def test_cancel_granted_request_releases(self, engine):
+        resource = Resource(engine, capacity=1)
+        request = resource.acquire()
+        engine.run()
+        assert resource.in_use == 1
+        request.cancel()
+        assert resource.in_use == 0
+
+    def test_wait_time_accounting(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        engine.process(hold(engine, resource, 10.0, log, "a"))
+        engine.process(hold(engine, resource, 10.0, log, "b"))
+        engine.run()
+        assert resource.total_grants == 2
+        assert resource.total_wait_time == pytest.approx(10.0)
+
+    def test_busy_fraction(self, engine):
+        resource = Resource(engine, capacity=1)
+        log = []
+        engine.process(hold(engine, resource, 25.0, log, "a"))
+        engine.run(until=100.0)
+        assert resource.busy_fraction() == pytest.approx(0.25)
+
+    def test_busy_fraction_zero_time(self, engine):
+        assert Resource(engine).busy_fraction() == 0.0
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("item")
+        results = []
+
+        def getter():
+            value = yield store.get()
+            results.append(value)
+
+        engine.process(getter())
+        engine.run()
+        assert results == ["item"]
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+        results = []
+
+        def getter():
+            value = yield store.get()
+            results.append((engine.now, value))
+
+        def putter():
+            yield engine.timeout(7.0)
+            store.put("late")
+
+        engine.process(getter())
+        engine.process(putter())
+        engine.run()
+        assert results == [(7.0, "late")]
+
+    def test_fifo_item_order(self, engine):
+        store = Store(engine)
+        for item in (1, 2, 3):
+            store.put(item)
+        results = []
+
+        def getter():
+            for _ in range(3):
+                value = yield store.get()
+                results.append(value)
+
+        engine.process(getter())
+        engine.run()
+        assert results == [1, 2, 3]
+
+    def test_fifo_getter_order(self, engine):
+        store = Store(engine)
+        results = []
+
+        def getter(tag):
+            value = yield store.get()
+            results.append((tag, value))
+
+        engine.process(getter("first"))
+        engine.process(getter("second"))
+
+        def putter():
+            yield engine.timeout(1.0)
+            store.put("x")
+            yield engine.timeout(1.0)
+            store.put("y")
+
+        engine.process(putter())
+        engine.run()
+        assert results == [("first", "x"), ("second", "y")]
+
+    def test_len_and_items(self, engine):
+        store = Store(engine)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items() == ["a", "b"]
+        assert store.total_puts == 2

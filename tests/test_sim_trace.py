@@ -1,0 +1,61 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim import NULL_TRACER, TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "pr_done", payload="IC/t0")
+        tracer.emit(2.0, "finish", app="IC#0")
+        tracer.emit(3.0, "pr_done", payload="IC/t1")
+        pr_events = list(tracer.filter("pr_done"))
+        assert [record.time for record in pr_events] == [1.0, 3.0]
+        assert pr_events[0]["payload"] == "IC/t0"
+
+    def test_count(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a")
+        tracer.emit(2.0, "a")
+        tracer.emit(3.0, "b")
+        assert tracer.count() == 3
+        assert tracer.count("a") == 2
+        assert tracer.count("missing") == 0
+
+    def test_disabled_tracer_drops_everything(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "a")
+        assert tracer.count() == 0
+
+    def test_null_tracer_is_disabled(self):
+        NULL_TRACER.emit(1.0, "anything")
+        assert NULL_TRACER.count() == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a")
+        tracer.clear()
+        assert tracer.count() == 0
+
+    def test_record_is_frozen(self):
+        record = TraceRecord(1.0, "a", {"k": "v"})
+        assert record["k"] == "v"
+
+    def test_scheduler_emits_lifecycle_events(self):
+        from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+        from repro.config import DEFAULT_PARAMETERS
+        from repro.core import VersaSlotBigLittle
+        from repro.fpga import BoardConfig, FPGABoard
+        from repro.sim import Engine
+
+        reset_instance_ids()
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+        tracer = Tracer()
+        scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS, tracer=tracer)
+        scheduler.submit(ApplicationInstance(BENCHMARKS["IC"], 5, 0.0))
+        engine.run(until=50_000_000)
+        assert tracer.count("submit") == 1
+        assert tracer.count("finish") == 1
+        assert tracer.count("pr_plan") >= 2  # two bundles
+        assert tracer.count("pr_done") == tracer.count("pr_plan")
