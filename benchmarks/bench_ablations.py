@@ -14,26 +14,35 @@ import random
 
 import pytest
 
+from repro.campaign import CampaignRunner, Scenario, group_by_system
 from repro.core.bundling import idle_subslot_cycles, parallel_time_ms
 from repro.core.switching import SchmittTrigger, SwitchDecision
-from repro.experiments.runner import run_sequence
+from repro.experiments.runner import record_to_run_result
 from repro.fpga import BoardConfig
-from repro.workloads import Condition, WorkloadGenerator
+from repro.workloads import Condition, WorkloadSpec
+
+
+def _paired_runs(records, first, second):
+    """Per-sequence (first, second) RunResult pairs from campaign records."""
+    grouped = group_by_system(records)
+    return [
+        (record_to_run_result(a), record_to_run_result(b))
+        for a, b in zip(grouped[first], grouped[second])
+    ]
 
 
 def test_ablation_dual_core(benchmark, sequence_count):
     """Dual-core decoupling is the Nimblock -> VersaSlot-OL delta."""
-    sequences = WorkloadGenerator(1).sequences(Condition.STRESS, count=sequence_count)
+    scenario = Scenario(
+        name="ablation-dual-core",
+        workload=WorkloadSpec(Condition.STRESS, sequence_count=sequence_count),
+        systems=("Nimblock", "VersaSlot-OL"),
+    )
 
-    def run():
-        pairs = []
-        for arrivals in sequences:
-            single = run_sequence("Nimblock", arrivals)
-            dual = run_sequence("VersaSlot-OL", arrivals)
-            pairs.append((single, dual))
-        return pairs
-
-    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        CampaignRunner().run, args=(scenario,), rounds=1, iterations=1
+    )
+    pairs = _paired_runs(records, "Nimblock", "VersaSlot-OL")
     gains = [s.responses.mean() / d.responses.mean() for s, d in pairs]
     blocked = [(s.stats.launch_blocked, d.stats.launch_blocked) for s, d in pairs]
     print(f"\nAblation dual-core: mean-response gain per sequence: "
@@ -89,17 +98,17 @@ def test_ablation_schmitt_hysteresis(benchmark):
 
 def test_ablation_big_little_vs_only_little_boards(benchmark, sequence_count):
     """The Big.Little static layout is the VersaSlot-OL -> -BL delta."""
-    sequences = WorkloadGenerator(2).sequences(Condition.STRESS, count=sequence_count)
+    scenario = Scenario(
+        name="ablation-big-little",
+        workload=WorkloadSpec(Condition.STRESS, sequence_count=sequence_count),
+        systems=("VersaSlot-OL", "VersaSlot-BL"),
+        seeds=(2,),
+    )
 
-    def run():
-        pairs = []
-        for arrivals in sequences:
-            ol = run_sequence("VersaSlot-OL", arrivals)
-            bl = run_sequence("VersaSlot-BL", arrivals)
-            pairs.append((ol, bl))
-        return pairs
-
-    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        CampaignRunner().run, args=(scenario,), rounds=1, iterations=1
+    )
+    pairs = _paired_runs(records, "VersaSlot-OL", "VersaSlot-BL")
     gains = [ol.responses.mean() / bl.responses.mean() for ol, bl in pairs]
     prs = [(ol.stats.pr_count, bl.stats.pr_count) for ol, bl in pairs]
     print(f"\nAblation Big.Little: gains={[f'{g:.2f}x' for g in gains]}  PRs (OL->BL)={prs}")

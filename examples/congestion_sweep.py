@@ -5,27 +5,45 @@ Compares all six evaluated systems (Baseline, FCFS, RR, Nimblock,
 VersaSlot Only.Little, VersaSlot Big.Little) over the paper's four
 congestion conditions, printing the relative response-time reduction and
 the relative tail latencies next to the paper's values.  Uses two random
-sequences per condition by default; pass an integer argument to change
-that (the paper uses ten).
+sequences per condition by default; the campaign backend fans the
+(system x sequence) cells out over worker processes with ``--jobs`` and
+persists replayable per-run records with ``--out``.
 
-Run with:  python examples/congestion_sweep.py [sequences]
+Run with:  python examples/congestion_sweep.py [--sequences N] [--jobs N]
+           [--out results/sweep.jsonl]
+
+Replay a persisted sweep without re-simulating:
+
+    python -m repro replay results/sweep.jsonl --figure fig5
 """
 
-import sys
+import argparse
 
 from repro.experiments import run_fig5, run_fig6
 
 
 def main() -> None:
-    sequence_count = int(sys.argv[1]) if len(sys.argv) > 1 else 2
-    print(f"Running 6 systems x 4 conditions x {sequence_count} sequences "
-          f"(20 apps each) ...\n")
-    fig5 = run_fig5(seed=1, sequence_count=sequence_count)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sequences", type=int, default=2,
+                        help="random sequences per condition (paper: 10)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the campaign backend")
+    parser.add_argument("--out", default=None,
+                        help="persist per-run JSONL records to this path")
+    args = parser.parse_args()
+
+    print(f"Running 6 systems x 4 conditions x {args.sequences} sequences "
+          f"(20 apps each) over {args.jobs} worker(s) ...\n")
+    fig5 = run_fig5(seed=1, sequence_count=args.sequences,
+                    jobs=args.jobs, store=args.out)
     print(fig5.table())
     print()
     # Fig. 6 reuses Fig. 5's Standard/Stress/Real-time runs.
     fig6 = run_fig6(fig5_result=fig5)
     print(fig6.table())
+    if args.out:
+        print(f"\n{len(fig5.records)} records appended to {args.out} "
+              f"(replay: python -m repro replay {args.out} --figure fig5)")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,18 @@ Public API tour::
     arrivals = WorkloadGenerator(seed=1).sequence(Condition.STANDARD)
     engine.process(drive(engine, scheduler, arrivals))
     engine.run()
+
+Campaigns (registry-driven scenarios, parallel execution, persisted
+results) live in :mod:`repro.campaign`::
+
+    from repro.campaign import CampaignRunner, Scenario
+    from repro.workloads import Condition, WorkloadSpec
+
+    scenario = Scenario(
+        name="sweep",
+        workload=WorkloadSpec(Condition.STRESS, sequence_count=4),
+    )
+    records = CampaignRunner(jobs=4, store="results/sweep.jsonl").run(scenario)
 """
 
 from .config import DEFAULT_PARAMETERS, ParameterSweep, SystemParameters

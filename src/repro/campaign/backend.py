@@ -1,0 +1,214 @@
+"""Campaign execution backends: the simulation core, serial and parallel.
+
+:func:`simulate_run` is the single place a (system, arrivals) pair is
+turned into a finished simulation — ``experiments.runner.run_sequence``
+and both campaign backends are thin wrappers over it.  Each campaign
+*cell* carries everything a worker needs (workload spec, seed, resolved
+parameters), so the parallel backend ships only small picklable specs to
+``multiprocessing`` workers and each worker rebuilds its own engine, RNG
+streams and application-instance-id counter — no cross-run global state.
+
+The serial backend is the reference for determinism tests: for the same
+cells, :class:`ProcessBackend` must return bit-identical records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..apps.application import reset_instance_ids
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fpga.board import FPGABoard
+from ..schedulers.base import SchedulerStats
+from ..sim import Engine
+from ..workloads.generator import Arrival, WorkloadSpec, drive
+from .results import COUNTER_FIELDS, RunRecord, fingerprint_parameters
+from .scenario import get_system
+
+#: Safety horizon: every sequence must drain well before this (ms).
+DEFAULT_HORIZON_MS = 500_000_000.0
+
+
+class DrainError(RuntimeError):
+    """A simulation ended with undrained applications.
+
+    The message names the stuck applications and the engine clock so a
+    hang is diagnosable from the exception alone.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        completions: int,
+        expected: int,
+        undrained: Sequence[str],
+        clock_ms: float,
+    ) -> None:
+        self.system = system
+        self.completions = completions
+        self.expected = expected
+        self.undrained = list(undrained)
+        self.clock_ms = clock_ms
+        shown = ", ".join(self.undrained[:8])
+        if len(self.undrained) > 8:
+            shown += f", ... ({len(self.undrained)} total)"
+        super().__init__(
+            f"{system} finished {completions}/{expected} apps at "
+            f"t={clock_ms:.0f} ms — the simulation did not drain; "
+            f"undrained: {shown or 'unknown'}"
+        )
+
+    def __reduce__(self):
+        # A worker's DrainError crosses the multiprocessing boundary by
+        # pickle; the default reduction would replay ``args`` (the
+        # message) into the 5-argument ``__init__`` and lose the
+        # diagnostic, so rebuild from the structured fields instead.
+        return (
+            type(self),
+            (
+                self.system,
+                self.completions,
+                self.expected,
+                self.undrained,
+                self.clock_ms,
+            ),
+        )
+
+
+@dataclass
+class SimulationOutcome:
+    """Raw outcome of one simulation: live stats object plus makespan."""
+
+    system: str
+    stats: SchedulerStats
+    makespan_ms: float
+
+
+def simulate_run(
+    system: str,
+    arrivals: Sequence[Arrival],
+    params: Optional[SystemParameters] = None,
+    horizon_ms: float = DEFAULT_HORIZON_MS,
+) -> SimulationOutcome:
+    """Simulate ``system`` serving ``arrivals`` on a fresh board."""
+    spec = get_system(system)
+    resolved = params if params is not None else DEFAULT_PARAMETERS
+    reset_instance_ids()
+    engine = Engine()
+    board = FPGABoard(engine, spec.board_config, resolved, name="eval")
+    scheduler = spec.factory(board, resolved)
+    engine.process(drive(engine, scheduler, arrivals))
+    engine.run(until=horizon_ms)
+    stats: SchedulerStats = scheduler.stats
+    if stats.completions != len(arrivals):
+        # ``inst.name`` already embeds the instance id ("IC#3").
+        undrained = [app.inst.name for app in scheduler.active_apps()]
+        raise DrainError(
+            system, stats.completions, len(arrivals), undrained, engine.now
+        )
+    # ``engine.run(until=...)`` parks the clock at the horizon; the last
+    # completion is the simulation's actual makespan.
+    makespan = max(
+        (record.finish_time for record in stats.responses), default=engine.now
+    )
+    return SimulationOutcome(system=system, stats=stats, makespan_ms=makespan)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independently simulatable (system × sequence × seed) unit.
+
+    Cells are frozen and picklable: either ``arrivals`` is given
+    explicitly (ad-hoc campaigns over a concrete workload) or the worker
+    regenerates the sequence deterministically from
+    ``workload.sequence(seed, sequence_index)``.
+    """
+
+    scenario: str
+    system: str
+    sequence_index: int
+    seed: int
+    params: SystemParameters = DEFAULT_PARAMETERS
+    workload: Optional[WorkloadSpec] = None
+    arrivals: Optional[Tuple[Arrival, ...]] = None
+    horizon_ms: float = DEFAULT_HORIZON_MS
+
+    def resolve_arrivals(self) -> List[Arrival]:
+        if self.arrivals is not None:
+            return list(self.arrivals)
+        if self.workload is None:
+            raise ValueError(
+                f"cell {self.scenario}/{self.system} has neither a workload "
+                "spec nor explicit arrivals"
+            )
+        return self.workload.sequence(self.seed, self.sequence_index)
+
+
+def execute_cell(cell: CampaignCell) -> RunRecord:
+    """Run one cell to completion and flatten it into a :class:`RunRecord`.
+
+    This is the unit of work both backends schedule; it must stay a
+    module-level function so it pickles under every multiprocessing start
+    method.
+    """
+    arrivals = cell.resolve_arrivals()
+    outcome = simulate_run(
+        cell.system, arrivals, cell.params, horizon_ms=cell.horizon_ms
+    )
+    stats = outcome.stats
+    condition = cell.workload.condition.label if cell.workload else "explicit"
+    return RunRecord(
+        scenario=cell.scenario,
+        system=cell.system,
+        condition=condition,
+        sequence_index=cell.sequence_index,
+        seed=cell.seed,
+        n_apps=len(arrivals),
+        makespan_ms=outcome.makespan_ms,
+        response_times_ms=stats.response_times_ms(),
+        counters={name: getattr(stats, name) for name in COUNTER_FIELDS},
+        fingerprint=fingerprint_parameters(cell.params),
+    )
+
+
+class SerialBackend:
+    """Reference backend: cells run in order, in this process."""
+
+    name = "serial"
+
+    def run(self, cells: Sequence[CampaignCell]) -> List[RunRecord]:
+        return [execute_cell(cell) for cell in cells]
+
+
+@dataclass
+class ProcessBackend:
+    """Fan cells out over a ``multiprocessing`` pool.
+
+    Results come back in cell order (``pool.map`` preserves ordering), so
+    aggregate statistics are independent of worker completion order and
+    bit-identical to the serial backend.
+    """
+
+    jobs: int = 2
+    #: One cell per task keeps long and short cells load-balanced.
+    chunksize: int = 1
+    name: str = field(init=False, default="process")
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run(self, cells: Sequence[CampaignCell]) -> List[RunRecord]:
+        cells = list(cells)
+        if self.jobs == 1 or len(cells) <= 1:
+            return SerialBackend().run(cells)
+        workers = min(self.jobs, len(cells))
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(execute_cell, cells, chunksize=self.chunksize)
+
+
+def make_backend(jobs: int = 1):
+    """The backend matching a ``--jobs N`` request."""
+    return SerialBackend() if jobs <= 1 else ProcessBackend(jobs=jobs)

@@ -1,0 +1,144 @@
+"""Persisted per-run records: the campaign subsystem's results layer.
+
+Every campaign cell produces one :class:`RunRecord` — response samples,
+scheduler counters, makespan and a parameter fingerprint — serialized as
+one JSON object per line (JSONL) under ``results/``.  Records are the
+contract between simulation and reporting: the figure modules and
+``python -m repro replay`` consume records, so any plot can be re-rendered
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import MISSING, asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..config import SystemParameters
+
+#: Bumped whenever the on-disk record shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Counter names copied off ``SchedulerStats`` into every record.
+COUNTER_FIELDS = (
+    "arrivals",
+    "completions",
+    "pr_count",
+    "pr_blocked",
+    "pr_wait_ms",
+    "launches",
+    "launch_blocked",
+    "launch_wait_ms",
+    "preemptions",
+    "migrations_out",
+)
+
+
+def fingerprint_parameters(params: SystemParameters) -> str:
+    """A short stable digest of a full parameter set.
+
+    Two records compare as "same configuration" iff their fingerprints
+    match, so aggregation across files can refuse to mix incompatible runs.
+    """
+    payload = json.dumps(asdict(params), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one simulated (system × sequence × seed) campaign cell."""
+
+    scenario: str
+    system: str
+    condition: str
+    sequence_index: int
+    seed: int
+    n_apps: int
+    makespan_ms: float
+    response_times_ms: List[float] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    fingerprint: str = ""
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        schema = payload.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"record schema {schema} not supported (expected {SCHEMA_VERSION})"
+            )
+        fields = cls.__dataclass_fields__
+        required = {
+            name
+            for name, f in fields.items()
+            if f.default is MISSING and f.default_factory is MISSING
+        }
+        missing = sorted(required - payload.keys())
+        if missing:
+            raise ValueError(f"record is missing fields: {', '.join(missing)}")
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+    def mean_response_ms(self) -> float:
+        if not self.response_times_ms:
+            raise ValueError(f"record {self.scenario}/{self.system} has no samples")
+        return sum(self.response_times_ms) / len(self.response_times_ms)
+
+
+class ResultsStore:
+    """Append-oriented JSONL store for :class:`RunRecord` files."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, records: Iterable[RunRecord]) -> Path:
+        """Replace the file's contents with ``records``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return self.path
+
+    def extend(self, records: Iterable[RunRecord]) -> Path:
+        """Append ``records`` to the file, creating it if needed."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return self.path
+
+    def load(self) -> List[RunRecord]:
+        """All records in file order."""
+        records: List[RunRecord] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    records.append(RunRecord.from_dict(payload))
+                except (json.JSONDecodeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: malformed record ({exc})"
+                    ) from None
+        return records
+
+
+def load_records(path: Union[str, Path]) -> List[RunRecord]:
+    """Convenience loader used by the CLI ``replay`` command."""
+    return ResultsStore(path).load()
+
+
+def group_by_system(records: Iterable[RunRecord]) -> Dict[str, List[RunRecord]]:
+    """Records keyed by system, each list ordered by (seed, sequence)."""
+    grouped: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.system, []).append(record)
+    for runs in grouped.values():
+        runs.sort(key=lambda r: (r.condition, r.seed, r.sequence_index))
+    return grouped

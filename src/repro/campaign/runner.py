@@ -1,0 +1,71 @@
+"""The campaign runner: scenario -> cells -> backend -> persisted records."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..config import SystemParameters
+from .backend import CampaignCell, make_backend
+from .results import ResultsStore, RunRecord
+from .scenario import Scenario, get_scenario
+
+
+class CampaignRunner:
+    """Execute campaigns over a serial or multiprocessing backend.
+
+    ``jobs=1`` selects the deterministic serial reference backend;
+    ``jobs=N`` fans cells out over N worker processes.  When a ``store``
+    (or path) is given, every produced record is appended to that JSONL
+    file so figures can later be replayed without re-simulating.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend=None,
+        store: Optional[Union[ResultsStore, str, Path]] = None,
+        base_params: Optional[SystemParameters] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else make_backend(jobs)
+        if store is not None and not isinstance(store, ResultsStore):
+            store = ResultsStore(store)
+        self.store = store
+        self.base_params = base_params
+
+    def cells_for(self, scenario: Scenario) -> List[CampaignCell]:
+        """Enumerate a scenario into cells, sequence-major then system.
+
+        The ordering mirrors the historical ``run_matrix`` loop (sequences
+        outer, systems inner) so serial campaigns visit simulations in the
+        same order the old harness did.
+        """
+        params = scenario.parameters(self.base_params)
+        cells: List[CampaignCell] = []
+        for seed in scenario.seeds:
+            for index in range(scenario.workload.sequence_count):
+                for system in scenario.system_names():
+                    cells.append(
+                        CampaignCell(
+                            scenario=scenario.name,
+                            system=system,
+                            sequence_index=index,
+                            seed=seed,
+                            params=params,
+                            workload=scenario.workload,
+                        )
+                    )
+        return cells
+
+    def run(self, scenario: Union[str, Scenario]) -> List[RunRecord]:
+        """Run a scenario (by name or spec) and persist its records."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        return self.run_cells(self.cells_for(scenario))
+
+    def run_cells(self, cells: Sequence[CampaignCell]) -> List[RunRecord]:
+        """Run pre-built cells (ad-hoc campaigns over explicit arrivals)."""
+        records = self.backend.run(list(cells))
+        if self.store is not None:
+            self.store.extend(records)
+        return records

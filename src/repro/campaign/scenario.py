@@ -1,0 +1,242 @@
+"""Declarative scenario and system registries.
+
+The six evaluated systems (Fig. 5's legend) and every runnable scenario
+are registered here instead of being hardcoded in the experiment modules.
+A *system* is a scheduler factory plus its board configuration; a
+*scenario* is a frozen spec of what to simulate — systems, workload,
+seeds and parameter overrides — that the campaign runner enumerates into
+(system × sequence × seed) cells.
+
+Registration is decorator-based, following the benchmark-registry idiom::
+
+    @register_system("MyPolicy", BoardConfig.ONLY_LITTLE)
+    class MyPolicyScheduler(OnBoardScheduler): ...
+
+    @register_scenario
+    def my_sweep() -> Scenario:
+        return Scenario(name="my-sweep", workload=WorkloadSpec(...))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..core.versaslot import VersaSlotBigLittle, VersaSlotOnlyLittle
+from ..fpga.slots import BoardConfig
+from ..schedulers.baseline import BaselineScheduler
+from ..schedulers.fcfs import FCFSScheduler
+from ..schedulers.nimblock import NimblockScheduler
+from ..schedulers.round_robin import RoundRobinScheduler
+from ..workloads.generator import Condition, WorkloadSpec
+
+# ---------------------------------------------------------------------------
+# System registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One evaluated system: scheduler factory + board configuration."""
+
+    name: str
+    factory: Callable
+    board_config: BoardConfig
+
+
+#: Registered systems in legend order (insertion-ordered dict).
+SYSTEM_REGISTRY: Dict[str, SystemSpec] = {}
+
+
+def register_system(name: str, board_config: BoardConfig) -> Callable:
+    """Class/factory decorator adding a system to the registry."""
+
+    def deco(factory: Callable) -> Callable:
+        if name in SYSTEM_REGISTRY:
+            raise ValueError(f"system {name!r} is already registered")
+        SYSTEM_REGISTRY[name] = SystemSpec(name, factory, board_config)
+        return factory
+
+    return deco
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up a registered system; KeyError names the alternatives."""
+    try:
+        return SYSTEM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; available: {', '.join(SYSTEM_REGISTRY)}"
+        ) from None
+
+
+def system_names() -> List[str]:
+    return list(SYSTEM_REGISTRY)
+
+
+# The paper's six systems, in Fig. 5 legend order.
+register_system("Baseline", BoardConfig.ONLY_LITTLE)(BaselineScheduler)
+register_system("FCFS", BoardConfig.ONLY_LITTLE)(FCFSScheduler)
+register_system("RR", BoardConfig.ONLY_LITTLE)(RoundRobinScheduler)
+register_system("Nimblock", BoardConfig.ONLY_LITTLE)(NimblockScheduler)
+register_system("VersaSlot-OL", BoardConfig.ONLY_LITTLE)(VersaSlotOnlyLittle)
+register_system("VersaSlot-BL", BoardConfig.BIG_LITTLE)(VersaSlotBigLittle)
+
+
+# ---------------------------------------------------------------------------
+# Scenario specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative, picklable campaign specification."""
+
+    name: str
+    workload: WorkloadSpec
+    #: Systems to evaluate; empty means every registered system.
+    systems: Tuple[str, ...] = ()
+    seeds: Tuple[int, ...] = (1,)
+    #: ``SystemParameters`` field overrides, stored as sorted pairs so the
+    #: scenario stays hashable; pass a mapping, it is normalized here.
+    overrides: Tuple[Tuple[str, float], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "systems", tuple(self.systems))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        pairs = (
+            sorted(self.overrides.items())
+            if isinstance(self.overrides, Mapping)
+            else sorted(tuple(pair) for pair in self.overrides)
+        )
+        object.__setattr__(self, "overrides", tuple(pairs))
+        if not self.seeds:
+            raise ValueError(f"scenario {self.name!r} has no seeds")
+
+    def system_names(self) -> Tuple[str, ...]:
+        return self.systems if self.systems else tuple(SYSTEM_REGISTRY)
+
+    def parameters(self, base: Optional[SystemParameters] = None) -> SystemParameters:
+        """The resolved parameter set (base + this scenario's overrides)."""
+        resolved = base if base is not None else DEFAULT_PARAMETERS
+        if self.overrides:
+            resolved = resolved.with_overrides(**dict(self.overrides))
+        return resolved
+
+    def scaled(
+        self,
+        sequence_count: Optional[int] = None,
+        n_apps: Optional[int] = None,
+        seeds: Optional[Iterable[int]] = None,
+    ) -> "Scenario":
+        """A copy with the workload scale / seed set adjusted (CLI knobs)."""
+        workload = self.workload
+        changes = {}
+        if sequence_count is not None:
+            changes["sequence_count"] = sequence_count
+        if n_apps is not None:
+            changes["n_apps"] = n_apps
+        if changes:
+            workload = dataclasses.replace(workload, **changes)
+        return dataclasses.replace(
+            self,
+            workload=workload,
+            seeds=tuple(seeds) if seeds is not None else self.seeds,
+        )
+
+    def cell_count(self) -> int:
+        return (
+            len(self.system_names())
+            * self.workload.sequence_count
+            * len(self.seeds)
+        )
+
+
+#: Registered scenarios by name (insertion-ordered dict).
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(obj: Union[Scenario, Callable[[], Scenario]]):
+    """Register a :class:`Scenario`, directly or via a factory function.
+
+    As a decorator on a zero-argument factory the scenario is built and
+    registered at import time and the factory is returned unchanged.
+    """
+    scenario = obj if isinstance(obj, Scenario) else obj()
+    if not isinstance(scenario, Scenario):
+        raise TypeError(f"expected a Scenario, got {type(scenario).__name__}")
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return obj
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+
+@register_scenario
+def _smoke() -> Scenario:
+    return Scenario(
+        name="smoke",
+        workload=WorkloadSpec(Condition.STRESS, n_apps=4, sequence_count=1),
+        systems=("Baseline", "Nimblock", "VersaSlot-OL"),
+        description="Tiny three-system campaign for CI smoke runs.",
+    )
+
+
+for _condition in (
+    Condition.LOOSE,
+    Condition.STANDARD,
+    Condition.STRESS,
+    Condition.REAL_TIME,
+):
+    register_scenario(
+        Scenario(
+            name=f"fig5-{_condition.label.lower()}",
+            workload=WorkloadSpec(_condition, n_apps=20, sequence_count=2),
+            description=(
+                f"Fig. 5 column: all six systems under the "
+                f"{_condition.label} interval (paper scale: --sequences 10)."
+            ),
+        )
+    )
+
+
+@register_scenario
+def _stress_scale() -> Scenario:
+    return Scenario(
+        name="stress-scale",
+        workload=WorkloadSpec(Condition.STRESS, n_apps=40, sequence_count=4),
+        systems=("Nimblock", "VersaSlot-OL", "VersaSlot-BL"),
+        seeds=(1, 2),
+        description="Heavy-traffic stress sweep of the pipelined systems.",
+    )
+
+
+@register_scenario
+def _pr_fault_injection() -> Scenario:
+    return Scenario(
+        name="pr-fault-injection",
+        workload=WorkloadSpec(Condition.STANDARD, n_apps=12, sequence_count=2),
+        systems=("Nimblock", "VersaSlot-OL", "VersaSlot-BL"),
+        overrides={"pr_failure_rate": 0.02},
+        description="Standard interval with 2% DFX verification failures.",
+    )

@@ -1,13 +1,17 @@
-"""Command-line interface: ``python -m repro <figure> [options]``.
+"""Command-line interface: ``python -m repro <command> [options]``.
 
-Regenerates any of the paper's figures from the terminal:
+Regenerates any of the paper's figures, runs registered campaigns over a
+parallel backend, and replays persisted results:
 
 .. code-block:: sh
 
-    python -m repro fig5 --sequences 3
+    python -m repro fig5 --sequences 3 --jobs 4 --out results/fig5.jsonl
     python -m repro fig6
     python -m repro fig7
-    python -m repro fig8 --apps 80 --seed 2
+    python -m repro fig8 --apps 80 --seed 2 --jobs 2
+    python -m repro campaign list
+    python -m repro campaign run fig5-standard --jobs 4
+    python -m repro replay results/fig5.jsonl --figure fig5
     python -m repro list
 """
 
@@ -17,8 +21,17 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .campaign import (
+    CampaignRunner,
+    ResultsStore,
+    get_scenario,
+    load_records,
+    scenario_names,
+)
 from .experiments import (
     PAPER_SWITCH_OVERHEAD_MS,
+    Fig5Result,
+    fig6_from_records,
     run_fig5,
     run_fig6,
     run_fig7,
@@ -26,6 +39,7 @@ from .experiments import (
 )
 from .experiments.runner import SYSTEMS
 from .metrics.plots import bar_chart, trace_plot
+from .metrics.report import summarize_records
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,43 +49,157 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_parallel_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the campaign backend (default: 1, serial)",
+        )
+        p.add_argument(
+            "--out", type=str, default=None, metavar="PATH",
+            help="append per-run JSONL records to PATH (replayable via `replay`)",
+        )
+
     fig5 = sub.add_parser("fig5", help="relative response-time reduction")
     fig5.add_argument("--sequences", type=int, default=2)
     fig5.add_argument("--apps", type=int, default=20)
     fig5.add_argument("--seed", type=int, default=1)
+    add_parallel_options(fig5)
 
     fig6 = sub.add_parser("fig6", help="tail latency (P95/P99)")
     fig6.add_argument("--sequences", type=int, default=2)
     fig6.add_argument("--seed", type=int, default=1)
+    add_parallel_options(fig6)
 
     sub.add_parser("fig7", help="3-in-1 utilization gains")
 
     fig8 = sub.add_parser("fig8", help="cross-board switching")
     fig8.add_argument("--apps", type=int, default=60)
     fig8.add_argument("--seed", type=int, default=1)
+    add_parallel_options(fig8)
+
+    campaign = sub.add_parser("campaign", help="run registered scenario campaigns")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_sub.add_parser("list", help="list registered scenarios")
+    run = campaign_sub.add_parser("run", help="run one registered scenario")
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument("--sequences", type=int, default=None,
+                     help="override the scenario's sequence count")
+    run.add_argument("--apps", type=int, default=None,
+                     help="override the scenario's per-sequence app count")
+    run.add_argument("--seed", type=int, default=None,
+                     help="replace the scenario's seed set with one seed")
+    add_parallel_options(run)
+
+    replay = sub.add_parser("replay", help="re-render results from persisted records")
+    replay.add_argument("path", help="JSONL records file written by --out")
+    replay.add_argument(
+        "--figure", choices=("summary", "fig5", "fig6"), default="summary",
+        help="rendering: raw summary table or a figure recomputation",
+    )
 
     sub.add_parser("list", help="list the evaluated systems")
     return parser
 
 
+def _operator_error(exc: Exception) -> int:
+    """Print a clean one-line message for a user-input error (exit 2).
+
+    Reserved for lookup/load failures (unknown scenario, missing or
+    malformed records file) — simulation errors propagate with their
+    traceback so internal bugs stay debuggable.
+    """
+    if isinstance(exc, FileNotFoundError):
+        print(f"error: {exc.strerror}: {exc.filename}", file=sys.stderr)
+    else:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+    return 2
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "list":
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            workload = scenario.workload
+            print(
+                f"{name:<20s} {len(scenario.system_names())} systems x "
+                f"{workload.sequence_count} seq x {len(scenario.seeds)} seeds "
+                f"({workload.condition.label}, {workload.n_apps} apps)"
+                + (f"  — {scenario.description}" if scenario.description else "")
+            )
+        return 0
+    try:
+        scenario = get_scenario(args.scenario).scaled(
+            sequence_count=args.sequences,
+            n_apps=args.apps,
+            seeds=(args.seed,) if args.seed is not None else None,
+        )
+    except (KeyError, ValueError) as exc:
+        # Unknown scenario name, or scale flags the workload rejects
+        # (e.g. --sequences 0).
+        return _operator_error(exc)
+    out = args.out if args.out else f"results/{scenario.name}.jsonl"
+    store = ResultsStore(out)
+    runner = CampaignRunner(jobs=args.jobs, store=store)
+    records = runner.run(scenario)
+    print(summarize_records(records))
+    print(f"\n{len(records)} records appended to {store.path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    # Replay never simulates, so every failure here is an input problem
+    # (missing/malformed file, records that don't form the figure).
+    try:
+        records = load_records(args.path)
+        if not records:
+            print(f"no records in {args.path}")
+            return 1
+        if args.figure == "fig5":
+            print(Fig5Result.from_records(records).table())
+        elif args.figure == "fig6":
+            print(fig6_from_records(records).table())
+        else:
+            print(summarize_records(records))
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        return _operator_error(exc)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name, (cls, config) in SYSTEMS.items():
             print(f"{name:<14s} {cls.__name__:<22s} board={config.value}")
         return 0
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "fig5":
-        result = run_fig5(seed=args.seed, sequence_count=args.sequences, n_apps=args.apps)
+        result = run_fig5(
+            seed=args.seed, sequence_count=args.sequences, n_apps=args.apps,
+            jobs=args.jobs, store=args.out,
+        )
         print(result.table())
         return 0
     if args.command == "fig6":
-        print(run_fig6(seed=args.seed, sequence_count=args.sequences).table())
+        print(run_fig6(
+            seed=args.seed, sequence_count=args.sequences,
+            jobs=args.jobs, store=args.out,
+        ).table())
         return 0
     if args.command == "fig7":
         print(run_fig7().table())
         return 0
     if args.command == "fig8":
-        result = run_fig8(seed=args.seed, n_apps=args.apps)
+        result = run_fig8(
+            seed=args.seed, n_apps=args.apps, jobs=args.jobs,
+            store=ResultsStore(args.out) if args.out else None,
+        )
         print(trace_plot(
             [s.value for s in result.samples],
             title="D_switch trajectory",

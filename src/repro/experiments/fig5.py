@@ -4,17 +4,25 @@ Six systems x four congestion conditions; each cell is the mean over N
 random 20-application sequences of (baseline mean response / system mean
 response), so higher is better and the Baseline column is 1.0 by
 construction.
+
+The heavy lifting is a campaign per condition: ``run_fig5`` enumerates
+(system × sequence) cells through :class:`repro.campaign.CampaignRunner`
+(optionally over ``jobs`` worker processes, optionally persisted as
+JSONL), and the figure itself is computed from the records — so
+:meth:`Fig5Result.from_records` can replay a persisted campaign without
+re-simulating.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..campaign import CampaignRunner, ResultsStore, RunRecord, Scenario, group_by_system
+from ..config import SystemParameters
 from ..metrics.report import format_table
-from ..workloads.generator import Condition, WorkloadGenerator
-from .runner import RunResult, SYSTEMS, run_matrix
+from ..workloads.generator import Condition, WorkloadSpec
+from .runner import RunResult, SYSTEMS, record_to_run_result
 
 #: The paper's Fig. 5 values (reduction vs baseline, higher is better).
 PAPER_FIG5: Dict[str, Dict[str, float]] = {
@@ -34,19 +42,98 @@ CONDITIONS: Sequence[Condition] = (
 )
 
 
+def reductions_from_records(
+    records: Iterable[RunRecord],
+    baseline: str = "Baseline",
+) -> Dict[str, float]:
+    """Fig. 5 metric over one condition's records: mean over sequences of
+    (baseline mean response / system mean response)."""
+    grouped = group_by_system(records)
+    if baseline not in grouped:
+        raise KeyError(
+            f"no {baseline!r} records to normalize against; have: "
+            f"{', '.join(grouped) or 'none'}"
+        )
+    # Refuse to silently average incompatible runs — e.g. a results file
+    # that accumulated appends from differently-parameterized campaigns.
+    fingerprints = {r.fingerprint for runs in grouped.values() for r in runs}
+    if len(fingerprints) > 1:
+        raise ValueError(
+            f"records mix {len(fingerprints)} parameter fingerprints "
+            f"({', '.join(sorted(fingerprints))}); refusing to aggregate "
+            "(was the results file appended to by incompatible campaigns?)"
+        )
+    for system, runs in grouped.items():
+        keys = [(r.seed, r.sequence_index) for r in runs]
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                f"{system} has duplicate (seed, sequence) cells; pairing "
+                "would be ambiguous — aggregate one campaign at a time"
+            )
+    baseline_runs = grouped[baseline]
+    reductions: Dict[str, float] = {}
+    for system, runs in grouped.items():
+        if len(runs) != len(baseline_runs):
+            raise ValueError(
+                f"{system} has {len(runs)} records but {baseline} has "
+                f"{len(baseline_runs)}; cannot pair sequences"
+            )
+        ratios = []
+        for base, run in zip(baseline_runs, runs):
+            # Refuse to silently average incompatible runs — e.g. a results
+            # file that accumulated appends from differently-parameterized
+            # campaigns.  A pair is comparable iff it simulated the same
+            # workload cell under the same configuration.
+            mismatched = [
+                field
+                for field in ("seed", "sequence_index", "n_apps", "fingerprint")
+                if getattr(base, field) != getattr(run, field)
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"cannot pair {system} with {baseline}: records disagree "
+                    f"on {', '.join(mismatched)} (was the results file "
+                    "appended to by incompatible campaigns?)"
+                )
+            ratios.append(base.mean_response_ms() / run.mean_response_ms())
+        reductions[system] = sum(ratios) / len(ratios)
+    return reductions
+
+
 @dataclass
 class Fig5Result:
-    """Reductions per condition per system, plus the raw runs."""
+    """Reductions per condition per system, plus the raw runs/records."""
 
     reductions: Dict[str, Dict[str, float]] = field(default_factory=dict)
     runs: Dict[str, Dict[str, List[RunResult]]] = field(default_factory=dict)
+    records: List[RunRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_records(cls, records: Iterable[RunRecord]) -> "Fig5Result":
+        """Rebuild the figure from persisted records (no simulation)."""
+        result = cls()
+        by_condition: Dict[str, List[RunRecord]] = {}
+        for record in records:
+            by_condition.setdefault(record.condition, []).append(record)
+        for label, condition_records in by_condition.items():
+            result.records.extend(condition_records)
+            result.runs[label] = {
+                system: [record_to_run_result(r) for r in runs]
+                for system, runs in group_by_system(condition_records).items()
+            }
+            result.reductions[label] = reductions_from_records(condition_records)
+        return result
 
     def table(self) -> str:
-        labels = [c.label for c in CONDITIONS if c.label in self.reductions]
+        order = [c.label for c in CONDITIONS]
+        labels = [label for label in order if label in self.reductions]
+        labels += [label for label in self.reductions if label not in order]
         headers = ["system"] + labels + ["paper (Std)"]
         rows = []
         for system in SYSTEMS:
-            if system == "Baseline":
+            if system == "Baseline" or not all(
+                system in self.reductions[label] for label in labels
+            ):
                 continue
             row: List[object] = [system]
             for label in labels:
@@ -63,31 +150,32 @@ def run_fig5(
     seed: int = 1,
     sequence_count: int = 10,
     n_apps: int = 20,
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
     systems: Optional[Sequence[str]] = None,
     conditions: Sequence[Condition] = CONDITIONS,
+    jobs: int = 1,
+    store: Optional[Union[ResultsStore, str]] = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5 (and the raw data Fig. 6 reuses)."""
-    result = Fig5Result()
     chosen = list(systems) if systems else list(SYSTEMS)
     if "Baseline" not in chosen:
         chosen = ["Baseline"] + chosen
+    runner = CampaignRunner(jobs=jobs, store=store, base_params=params)
+    # Enumerate every condition's cells up front and fan them out in ONE
+    # backend call: a single worker pool, no synchronization barrier at
+    # condition boundaries.
+    cells = []
     for condition in conditions:
-        sequences = WorkloadGenerator(seed).sequences(
-            condition, count=sequence_count, n_apps=n_apps
+        scenario = Scenario(
+            name=f"fig5-{condition.label.lower()}",
+            workload=WorkloadSpec(
+                condition, n_apps=n_apps, sequence_count=sequence_count
+            ),
+            systems=tuple(chosen),
+            seeds=(seed,),
         )
-        matrix = run_matrix(sequences, systems=chosen, params=params)
-        result.runs[condition.label] = matrix
-        reductions: Dict[str, float] = {}
-        baseline_runs = matrix["Baseline"]
-        for system, runs in matrix.items():
-            ratios = [
-                base.responses.mean() / run.responses.mean()
-                for base, run in zip(baseline_runs, runs)
-            ]
-            reductions[system] = sum(ratios) / len(ratios)
-        result.reductions[condition.label] = reductions
-    return result
+        cells.extend(runner.cells_for(scenario))
+    return Fig5Result.from_records(runner.run_cells(cells))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -8,9 +8,10 @@ so lower is better and Baseline is 1.0.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
-from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..campaign import ResultsStore
+from ..config import SystemParameters
 from ..metrics.report import format_table
 from ..workloads.generator import Condition
 from .fig5 import Fig5Result, run_fig5
@@ -63,11 +64,13 @@ def run_fig6(
     seed: int = 1,
     sequence_count: int = 10,
     n_apps: int = 20,
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
     systems: Optional[Sequence[str]] = None,
     fig5_result: Optional[Fig5Result] = None,
+    jobs: int = 1,
+    store: Optional[Union[ResultsStore, str]] = None,
 ) -> Fig6Result:
-    """Regenerate Fig. 6; reuses Fig. 5's runs when provided."""
+    """Regenerate Fig. 6; reuses Fig. 5's runs (or records) when provided."""
     if fig5_result is None:
         fig5_result = run_fig5(
             seed=seed,
@@ -76,6 +79,8 @@ def run_fig6(
             params=params,
             systems=systems,
             conditions=TAIL_CONDITIONS,
+            jobs=jobs,
+            store=store,
         )
     result = Fig6Result()
     for condition in TAIL_CONDITIONS:
@@ -94,6 +99,11 @@ def run_fig6(
                 column[system] = sum(ratios) / len(ratios)
             result.relative_tails[f"{label}-{tag}"] = column
     return result
+
+
+def fig6_from_records(records) -> Fig6Result:
+    """Replay Fig. 6 from persisted campaign records (no simulation)."""
+    return run_fig6(fig5_result=Fig5Result.from_records(records))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 
 from ..apps.benchmarks import BENCHMARKS, FIG7_APPS, IC_DETAIL_TASKS
 from ..config import DEFAULT_PARAMETERS, SystemParameters
+from typing import Optional
 from ..core.versaslot import VersaSlotBigLittle
 from ..fpga.board import FPGABoard
 from ..fpga.slots import BoardConfig
@@ -94,7 +95,7 @@ def run_fig7() -> Fig7Result:
 def run_fig7_dynamic(
     app_name: str = "IC",
     batch_size: int = 20,
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
 ) -> Tuple[ResourceVector, ResourceVector]:
     """Verify the static gain on a live run: (little_util, big_util).
 
@@ -103,6 +104,8 @@ def run_fig7_dynamic(
     time-weighted occupied-slot utilizations of both runs.
     """
     spec = BENCHMARKS[app_name]
+    if params is None:
+        params = DEFAULT_PARAMETERS
     utils = []
     for scheduler_cls, config in (
         (NimblockScheduler, BoardConfig.ONLY_LITTLE),

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import random
 
 from ..apps.application import reset_instance_ids
+from ..campaign import CampaignCell, CampaignRunner, ResultsStore
 from ..cluster.cluster import FPGACluster
 from ..cluster.monitor import ContentionMonitor
 from ..config import DEFAULT_PARAMETERS, SystemParameters
@@ -31,7 +32,7 @@ from ..metrics.report import format_series, sparkline
 from ..metrics.response import ResponseStats
 from ..sim import Engine
 from ..workloads.generator import Arrival, Condition, drive
-from .runner import RUN_HORIZON_MS, run_sequence
+from .runner import RUN_HORIZON_MS, record_to_run_result
 
 #: Paper right-panel values (reduction vs Only.Little, higher is better).
 PAPER_FIG8: Dict[str, float] = {"Switching": 2.98, "Only Big.Little": 6.65}
@@ -108,11 +109,13 @@ class Fig8Result:
 
 def run_cluster(
     arrivals: Sequence[Arrival],
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
     switching_enabled: bool = True,
     initial: BoardConfig = BoardConfig.ONLY_LITTLE,
 ) -> Tuple[ResponseStats, FPGACluster, ContentionMonitor]:
     """Serve ``arrivals`` on a two-board cluster with the switch loop."""
+    if params is None:
+        params = DEFAULT_PARAMETERS
     reset_instance_ids()
     engine = Engine()
     cluster = FPGACluster(
@@ -135,9 +138,16 @@ def run_fig8(
     seed: int = 1,
     n_apps: int = 80,
     interval_range: Tuple[float, float] = (400.0, 900.0),
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
+    jobs: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> Fig8Result:
-    """Regenerate Fig. 8: trace, switch overhead and mode comparison."""
+    """Regenerate Fig. 8: trace, switch overhead and mode comparison.
+
+    The switching-cluster run stays in-process (the cluster layer is not a
+    single-board campaign cell), but the two single-board reference runs
+    go through the campaign backend and fan out when ``jobs > 1``.
+    """
     arrivals = long_workload(seed, n_apps, interval_range)
     result = Fig8Result()
 
@@ -146,8 +156,22 @@ def run_fig8(
     result.switch_times_ms = [record.start_ms for record in cluster.migration_stats.records]
     result.mean_switch_overhead_ms = cluster.migration_stats.mean_overhead_ms()
 
-    only_little = run_sequence("VersaSlot-OL", arrivals, params).responses
-    only_big = run_sequence("VersaSlot-BL", arrivals, params).responses
+    runner = CampaignRunner(jobs=jobs, store=store)
+    resolved = params if params is not None else DEFAULT_PARAMETERS
+    cells = [
+        CampaignCell(
+            scenario="fig8-boards",
+            system=system,
+            sequence_index=0,
+            seed=seed,
+            params=resolved,
+            arrivals=tuple(arrivals),
+        )
+        for system in ("VersaSlot-OL", "VersaSlot-BL")
+    ]
+    records = runner.run_cells(cells)
+    only_little = record_to_run_result(records[0]).responses
+    only_big = record_to_run_result(records[1]).responses
 
     base = only_little.mean()
     result.reductions = {

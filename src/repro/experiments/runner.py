@@ -1,40 +1,62 @@
-"""Shared experiment harness: run one system over one arrival sequence.
+"""Shared experiment harness: thin wrappers over the campaign layer.
 
-The six evaluated systems (Fig. 5's legend) are registered here with their
-board configurations; every figure module builds on :func:`run_sequence`.
+Historically this module owned the hardcoded ``SYSTEMS`` dict and the
+serial simulation loop; both now live in :mod:`repro.campaign`.
+:data:`SYSTEMS` is a live read-only view of the campaign system registry
+(kept for the figure modules, benches and downstream users), and
+:func:`run_sequence` / :func:`run_matrix` delegate to
+:func:`repro.campaign.simulate_run` and the execution backends.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..apps.application import reset_instance_ids
+from ..campaign.backend import (
+    DEFAULT_HORIZON_MS,
+    CampaignCell,
+    make_backend,
+    simulate_run,
+)
+from ..campaign.results import RunRecord
+from ..campaign.scenario import SYSTEM_REGISTRY, get_system
 from ..config import DEFAULT_PARAMETERS, SystemParameters
-from ..core.versaslot import VersaSlotBigLittle, VersaSlotOnlyLittle
-from ..fpga.board import FPGABoard
 from ..fpga.slots import BoardConfig
 from ..metrics.response import ResponseStats
 from ..schedulers.base import SchedulerStats
-from ..schedulers.baseline import BaselineScheduler
-from ..schedulers.fcfs import FCFSScheduler
-from ..schedulers.nimblock import NimblockScheduler
-from ..schedulers.round_robin import RoundRobinScheduler
-from ..sim import Engine
-from ..workloads.generator import Arrival, drive
+from ..workloads.generator import Arrival
 
 #: Safety horizon: every sequence must drain well before this (ms).
-RUN_HORIZON_MS = 500_000_000.0
+RUN_HORIZON_MS = DEFAULT_HORIZON_MS
 
-#: Evaluated systems in the paper's legend order.
-SYSTEMS: Dict[str, Tuple[Callable, BoardConfig]] = {
-    "Baseline": (BaselineScheduler, BoardConfig.ONLY_LITTLE),
-    "FCFS": (FCFSScheduler, BoardConfig.ONLY_LITTLE),
-    "RR": (RoundRobinScheduler, BoardConfig.ONLY_LITTLE),
-    "Nimblock": (NimblockScheduler, BoardConfig.ONLY_LITTLE),
-    "VersaSlot-OL": (VersaSlotOnlyLittle, BoardConfig.ONLY_LITTLE),
-    "VersaSlot-BL": (VersaSlotBigLittle, BoardConfig.BIG_LITTLE),
-}
+
+class _SystemsView(Mapping):
+    """Read-only live view of the campaign system registry.
+
+    Preserves the historical ``{name: (factory, board_config)}`` shape, so
+    ``SYSTEMS["FCFS"]`` and ``list(SYSTEMS)`` keep working while new
+    systems registered via ``repro.campaign.register_system`` appear
+    automatically.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[type, BoardConfig]:
+        spec = get_system(name)
+        return (spec.factory, spec.board_config)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(SYSTEM_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(SYSTEM_REGISTRY)
+
+    def __repr__(self) -> str:
+        return f"SYSTEMS({', '.join(SYSTEM_REGISTRY)})"
+
+
+#: Evaluated systems in the paper's legend order (live registry view).
+SYSTEMS: Mapping = _SystemsView()
 
 
 @dataclass
@@ -47,49 +69,75 @@ class RunResult:
     makespan_ms: float
 
 
+def record_to_run_result(record: RunRecord) -> RunResult:
+    """Rebuild a :class:`RunResult` from a persisted campaign record.
+
+    The reconstructed ``stats`` carries the persisted counters; the
+    per-application ``responses`` list inside it is not recoverable from a
+    record and stays empty (use ``result.responses`` for samples).
+    """
+    responses = ResponseStats()
+    responses.extend(record.response_times_ms)
+    stats = SchedulerStats()
+    for name, value in record.counters.items():
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+    return RunResult(
+        system=record.system,
+        responses=responses,
+        stats=stats,
+        makespan_ms=record.makespan_ms,
+    )
+
+
 def run_sequence(
     system: str,
     arrivals: Sequence[Arrival],
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
 ) -> RunResult:
     """Simulate ``system`` serving ``arrivals`` on a fresh board."""
-    try:
-        scheduler_cls, config = SYSTEMS[system]
-    except KeyError:
-        raise KeyError(
-            f"unknown system {system!r}; available: {', '.join(SYSTEMS)}"
-        ) from None
-    reset_instance_ids()
-    engine = Engine()
-    board = FPGABoard(engine, config, params, name="eval")
-    scheduler = scheduler_cls(board, params)
-    engine.process(drive(engine, scheduler, arrivals))
-    engine.run(until=RUN_HORIZON_MS)
-    stats: SchedulerStats = scheduler.stats
-    if stats.completions != len(arrivals):
-        raise RuntimeError(
-            f"{system} finished {stats.completions}/{len(arrivals)} apps — "
-            "the simulation did not drain"
-        )
+    outcome = simulate_run(system, arrivals, params)
     responses = ResponseStats()
-    responses.extend(stats.response_times_ms())
+    responses.extend(outcome.stats.response_times_ms())
     return RunResult(
         system=system,
         responses=responses,
-        stats=stats,
-        makespan_ms=engine.now,
+        stats=outcome.stats,
+        makespan_ms=outcome.makespan_ms,
     )
 
 
 def run_matrix(
     sequences: Sequence[Sequence[Arrival]],
     systems: Optional[Sequence[str]] = None,
-    params: SystemParameters = DEFAULT_PARAMETERS,
+    params: Optional[SystemParameters] = None,
+    jobs: int = 1,
 ) -> Dict[str, List[RunResult]]:
-    """Run every system over every sequence; keyed by system name."""
+    """Run every system over every sequence; keyed by system name.
+
+    With ``jobs > 1`` the (system × sequence) cells fan out over worker
+    processes; the aggregate is bit-identical to the serial path.
+    """
     chosen = list(systems) if systems else list(SYSTEMS)
     results: Dict[str, List[RunResult]] = {name: [] for name in chosen}
-    for arrivals in sequences:
-        for name in chosen:
-            results[name].append(run_sequence(name, arrivals, params))
+    if jobs <= 1:
+        for arrivals in sequences:
+            for name in chosen:
+                results[name].append(run_sequence(name, arrivals, params))
+        return results
+    resolved = params if params is not None else DEFAULT_PARAMETERS
+    cells = [
+        CampaignCell(
+            scenario="run-matrix",
+            system=name,
+            sequence_index=index,
+            seed=0,
+            params=resolved,
+            arrivals=tuple(arrivals),
+        )
+        for index, arrivals in enumerate(sequences)
+        for name in chosen
+    ]
+    for record in make_backend(jobs).run(cells):
+        results[record.system].append(record_to_run_result(record))
     return results

@@ -8,7 +8,7 @@ from .response import (
     summarize_runs,
 )
 from .plots import bar_chart, grouped_bar_chart, trace_plot
-from .report import format_series, format_table, sparkline
+from .report import format_series, format_table, sparkline, summarize_records
 from .utilization import BundlingGain, UtilizationTracker, bundling_gain, ic_detail
 
 __all__ = [
@@ -26,5 +26,6 @@ __all__ = [
     "relative_reduction",
     "relative_tail",
     "sparkline",
+    "summarize_records",
     "summarize_runs",
 ]

@@ -2,12 +2,17 @@
 
 Every experiment prints its results through these helpers, so the bench
 output lines up visually with the paper's tables/figures and EXPERIMENTS.md
-can quote them directly.
+can quote them directly.  :func:`summarize_records` renders persisted
+campaign records (``results/*.jsonl``), so ``python -m repro replay``
+re-reports a run without re-simulating.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..campaign.results import RunRecord
 
 
 def format_table(
@@ -58,6 +63,48 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
         stride = len(values) / width
         values = [values[int(i * stride)] for i in range(width)]
     return "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values)
+
+
+def summarize_records(records: Iterable["RunRecord"]) -> str:
+    """One table row per (condition, system) over persisted campaign records.
+
+    Reports run counts, mean/P95/P99 response, mean makespan and PR
+    counters — everything needed to sanity-check a campaign file without
+    replaying the simulations.
+    """
+    from .response import ResponseStats
+
+    groups: Dict[tuple, List["RunRecord"]] = {}
+    scenarios: List[str] = []
+    for record in records:
+        groups.setdefault((record.condition, record.system), []).append(record)
+        if record.scenario not in scenarios:
+            scenarios.append(record.scenario)
+    if not groups:
+        return "no records"
+    rows = []
+    for (condition, system), runs in sorted(groups.items()):
+        pooled = ResponseStats()
+        for run in runs:
+            pooled.extend(run.response_times_ms)
+        has_samples = pooled.count > 0
+        rows.append([
+            condition,
+            system,
+            len(runs),
+            pooled.mean() if has_samples else float("nan"),
+            pooled.p95() if has_samples else float("nan"),
+            pooled.p99() if has_samples else float("nan"),
+            sum(run.makespan_ms for run in runs) / len(runs),
+            int(sum(run.counters.get("pr_count", 0) for run in runs)),
+            int(sum(run.counters.get("pr_blocked", 0) for run in runs)),
+        ])
+    return format_table(
+        ["condition", "system", "runs", "mean (ms)", "p95 (ms)", "p99 (ms)",
+         "makespan (ms)", "PRs", "blocked"],
+        rows,
+        title=f"Campaign records — {', '.join(scenarios)}",
+    )
 
 
 def _fmt(cell: object) -> str:

@@ -120,7 +120,7 @@ class OnBoardScheduler:
     def __init__(
         self,
         board: FPGABoard,
-        params: SystemParameters = DEFAULT_PARAMETERS,
+        params: Optional[SystemParameters] = None,
         dual_core: bool = False,
         preemption: bool = False,
         preemption_quantum_ms: float = 400.0,
@@ -128,7 +128,11 @@ class OnBoardScheduler:
     ) -> None:
         self.board = board
         self.engine: Engine = board.engine
-        self.params = params
+        # ``SystemParameters`` is frozen, so sharing the module default is
+        # safe; resolving ``None`` here (instead of a module-level default
+        # argument) keeps one run's override set from ever aliasing into
+        # another's signature.
+        self.params = params if params is not None else DEFAULT_PARAMETERS
         self.dual_core = dual_core
         self.preemption = preemption
         self.preemption_quantum_ms = preemption_quantum_ms

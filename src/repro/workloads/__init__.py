@@ -5,6 +5,7 @@ from .generator import (
     Arrival,
     Condition,
     WorkloadGenerator,
+    WorkloadSpec,
     drive,
     instantiate,
     total_work_ms,
@@ -21,6 +22,7 @@ __all__ = [
     "BATCH_RANGE",
     "Condition",
     "WorkloadGenerator",
+    "WorkloadSpec",
     "drive",
     "dumps",
     "instantiate",

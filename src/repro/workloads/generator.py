@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from enum import Enum
 from typing import Generator as GeneratorType
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..apps.application import ApplicationInstance, ApplicationSpec
 from ..apps.benchmarks import BENCHMARKS
@@ -55,9 +55,15 @@ class Arrival:
 
 
 class WorkloadGenerator:
-    """Seeded generator of arrival sequences over the benchmark set."""
+    """Seeded generator of arrival sequences over the benchmark set.
 
-    def __init__(self, seed: int, apps: Optional[Sequence[str]] = None) -> None:
+    ``seed`` may be an int or a composite string (the seed is only ever
+    folded into RNG stream names); ``sequences`` requires an int seed.
+    """
+
+    def __init__(
+        self, seed: Union[int, str], apps: Optional[Sequence[str]] = None
+    ) -> None:
         self.seed = seed
         self.app_names: List[str] = list(apps) if apps else list(BENCHMARKS)
         unknown = [name for name in self.app_names if name not in BENCHMARKS]
@@ -105,6 +111,53 @@ class WorkloadGenerator:
             )
             for offset in range(count)
         ]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative, picklable description of a family of arrival sequences.
+
+    The campaign layer ships these to worker processes, which regenerate
+    the arrivals locally: only ``(spec, seed, index)`` crosses the process
+    boundary, so serial and parallel campaigns see bit-identical
+    workloads.  Unlike the legacy ``WorkloadGenerator.sequences`` offset
+    scheme (where ``seed + 1`` overlaps ``seed``'s later sequences), the
+    root seed and sequence index are threaded as independent components,
+    so multi-seed scenarios never silently duplicate workloads.
+    """
+
+    condition: Condition
+    n_apps: int = 20
+    sequence_count: int = 1
+    batch_range: Tuple[int, int] = BATCH_RANGE
+    apps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1:
+            raise ValueError(f"n_apps must be >= 1, got {self.n_apps}")
+        if self.sequence_count < 1:
+            raise ValueError(
+                f"sequence_count must be >= 1, got {self.sequence_count}"
+            )
+
+    def sequence(self, seed: int, index: int = 0) -> List[Arrival]:
+        """The ``index``-th arrival sequence under root ``seed``."""
+        if not (0 <= index < self.sequence_count):
+            raise IndexError(
+                f"sequence index {index} out of range "
+                f"[0, {self.sequence_count})"
+            )
+        # The composite string seed keeps (seed=1, index=1) distinct from
+        # (seed=2, index=0); ``WorkloadGenerator`` only ever folds its
+        # seed into RNG stream names, so a string seed is deterministic.
+        generator = WorkloadGenerator(f"{seed}/{index}", self.apps or None)
+        return generator.sequence(
+            self.condition, self.n_apps, batch_range=self.batch_range
+        )
+
+    def sequences(self, seed: int) -> List[List[Arrival]]:
+        """All ``sequence_count`` sequences under root ``seed``."""
+        return [self.sequence(seed, index) for index in range(self.sequence_count)]
 
 
 def instantiate(arrival: Arrival, now_ms: float) -> ApplicationInstance:

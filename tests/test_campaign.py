@@ -1,0 +1,330 @@
+"""Unit and integration tests for the campaign subsystem."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    DrainError,
+    ProcessBackend,
+    ResultsStore,
+    RunRecord,
+    SCENARIOS,
+    SYSTEM_REGISTRY,
+    Scenario,
+    SerialBackend,
+    execute_cell,
+    fingerprint_parameters,
+    get_scenario,
+    get_system,
+    group_by_system,
+    load_records,
+    register_scenario,
+    register_system,
+    simulate_run,
+)
+from repro.config import DEFAULT_PARAMETERS
+from repro.experiments import Fig5Result, run_fig5, run_sequence
+from repro.fpga import BoardConfig
+from repro.workloads import Condition, WorkloadGenerator, WorkloadSpec
+
+
+class TestSystemRegistry:
+    def test_legend_order(self):
+        assert list(SYSTEM_REGISTRY) == [
+            "Baseline", "FCFS", "RR", "Nimblock", "VersaSlot-OL", "VersaSlot-BL",
+        ]
+
+    def test_get_system_unknown_names_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_system("Mystery")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_system("FCFS", BoardConfig.ONLY_LITTLE)(object)
+
+    def test_experiments_systems_is_live_view(self):
+        from repro.experiments.runner import SYSTEMS
+
+        assert list(SYSTEMS) == list(SYSTEM_REGISTRY)
+        factory, config = SYSTEMS["VersaSlot-BL"]
+        assert config is BoardConfig.BIG_LITTLE
+        assert "VersaSlot-BL" in SYSTEMS
+        assert dict(SYSTEMS)
+
+
+class TestScenario:
+    def _scenario(self, **kw):
+        defaults = dict(
+            name="t",
+            workload=WorkloadSpec(Condition.STRESS, n_apps=4, sequence_count=2),
+            systems=("Baseline", "FCFS"),
+            seeds=(1, 2),
+        )
+        defaults.update(kw)
+        return Scenario(**defaults)
+
+    def test_cell_enumeration(self):
+        scenario = self._scenario()
+        cells = CampaignRunner().cells_for(scenario)
+        assert len(cells) == scenario.cell_count() == 2 * 2 * 2
+        # sequence-major within a seed, systems inner (run_matrix order)
+        assert [(c.seed, c.sequence_index, c.system) for c in cells[:4]] == [
+            (1, 0, "Baseline"), (1, 0, "FCFS"), (1, 1, "Baseline"), (1, 1, "FCFS"),
+        ]
+
+    def test_overrides_normalized_and_applied(self):
+        scenario = self._scenario(overrides={"pr_failure_rate": 0.1})
+        assert scenario.overrides == (("pr_failure_rate", 0.1),)
+        assert scenario.parameters().pr_failure_rate == 0.1
+        assert DEFAULT_PARAMETERS.pr_failure_rate == 0.0
+
+    def test_empty_systems_means_all(self):
+        scenario = self._scenario(systems=())
+        assert scenario.system_names() == tuple(SYSTEM_REGISTRY)
+
+    def test_scaled(self):
+        scaled = self._scenario().scaled(sequence_count=5, n_apps=9, seeds=(7,))
+        assert scaled.workload.sequence_count == 5
+        assert scaled.workload.n_apps == 9
+        assert scaled.seeds == (7,)
+
+    def test_registry_duplicate_rejected(self):
+        assert "smoke" in SCENARIOS
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("smoke"))
+
+    def test_workload_spec_seed_threading(self):
+        """Deterministic per (seed, index), no cross-seed collisions.
+
+        The legacy ``WorkloadGenerator.sequences`` offset scheme made
+        (seed=1, index=1) identical to (seed=2, index=0); the spec threads
+        seed and index independently so multi-seed scenarios never
+        silently duplicate workloads.
+        """
+        spec = WorkloadSpec(Condition.STANDARD, n_apps=7, sequence_count=3)
+        assert spec.sequences(5) == spec.sequences(5)
+        keys = [(seed, index) for seed in (1, 2, 3) for index in range(3)]
+        generated = [tuple(spec.sequence(seed, index)) for seed, index in keys]
+        assert len(set(generated)) == len(keys)
+
+    def test_workload_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(Condition.STRESS, n_apps=0)
+        spec = WorkloadSpec(Condition.STRESS, sequence_count=2)
+        with pytest.raises(IndexError):
+            spec.sequence(1, 2)
+
+
+class TestSimulationCore:
+    def test_run_sequence_is_thin_wrapper(self):
+        arrivals = WorkloadGenerator(1).sequence(Condition.LOOSE, n_apps=3)
+        via_wrapper = run_sequence("Nimblock", arrivals)
+        via_core = simulate_run("Nimblock", arrivals)
+        assert via_wrapper.responses.samples_ms == via_core.stats.response_times_ms()
+
+    def test_drain_error_is_diagnosable(self):
+        arrivals = WorkloadGenerator(1).sequence(Condition.STRESS, n_apps=4)
+        with pytest.raises(DrainError) as excinfo:
+            simulate_run("Nimblock", arrivals, horizon_ms=100.0)
+        err = excinfo.value
+        message = str(err)
+        # names the stuck apps, the completion count and the engine clock
+        assert "did not drain" in message
+        assert "t=100 ms" in message
+        assert err.undrained
+        assert all("#" in name for name in err.undrained)
+        assert any(name.split("#")[0] in message for name in err.undrained)
+
+    def test_drain_error_survives_pickling(self):
+        """Worker DrainErrors cross the multiprocessing boundary intact."""
+        import pickle
+
+        err = DrainError("FCFS", 1, 4, ["IC#2", "OF#3"], 123.0)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.undrained == ["IC#2", "OF#3"]
+        assert clone.clock_ms == 123.0
+        assert str(clone) == str(err)
+
+    def test_cell_requires_workload_or_arrivals(self):
+        cell = CampaignCell(scenario="s", system="FCFS", sequence_index=0, seed=1)
+        with pytest.raises(ValueError, match="neither"):
+            cell.resolve_arrivals()
+
+    def test_execute_cell_record_shape(self):
+        cell = CampaignCell(
+            scenario="s",
+            system="Nimblock",
+            sequence_index=0,
+            seed=1,
+            workload=WorkloadSpec(Condition.LOOSE, n_apps=3),
+        )
+        record = execute_cell(cell)
+        assert record.system == "Nimblock"
+        assert record.condition == "Loose"
+        assert record.n_apps == 3
+        assert len(record.response_times_ms) == 3
+        assert record.counters["completions"] == 3
+        assert record.fingerprint == fingerprint_parameters(DEFAULT_PARAMETERS)
+        assert 0 < record.makespan_ms < 1e8
+
+
+class TestResultsStore:
+    def _records(self):
+        scenario = Scenario(
+            name="store-test",
+            workload=WorkloadSpec(Condition.STRESS, n_apps=3, sequence_count=1),
+            systems=("Baseline", "Nimblock"),
+        )
+        return CampaignRunner().run(scenario)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = self._records()
+        store = ResultsStore(tmp_path / "runs.jsonl")
+        store.write(records)
+        loaded = store.load()
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+    def test_extend_appends(self, tmp_path):
+        records = self._records()
+        store = ResultsStore(tmp_path / "runs.jsonl")
+        store.extend(records[:1])
+        store.extend(records[1:])
+        assert len(store.load()) == len(records)
+
+    def test_runner_persists(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        records = CampaignRunner(store=path).run(
+            Scenario(
+                name="persist-test",
+                workload=WorkloadSpec(Condition.STRESS, n_apps=3),
+                systems=("FCFS",),
+            )
+        )
+        assert [r.to_dict() for r in load_records(path)] == [
+            r.to_dict() for r in records
+        ]
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        payload = self._records()[0].to_dict()
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_records(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_records(path)
+
+    def test_missing_fields_rejected_with_location(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"schema": 1}\n')
+        with pytest.raises(ValueError, match="short.jsonl:1.*missing fields"):
+            load_records(path)
+
+    def test_fingerprint_tracks_overrides(self):
+        base = fingerprint_parameters(DEFAULT_PARAMETERS)
+        tweaked = fingerprint_parameters(
+            DEFAULT_PARAMETERS.with_overrides(pcap_bandwidth_mbps=290.0)
+        )
+        assert base != tweaked
+        assert base == fingerprint_parameters(DEFAULT_PARAMETERS)
+
+
+class TestFigureReplay:
+    def test_fig5_replay_from_persisted_records(self, tmp_path):
+        path = tmp_path / "fig5.jsonl"
+        live = run_fig5(
+            seed=1,
+            sequence_count=1,
+            n_apps=5,
+            conditions=(Condition.STRESS,),
+            store=path,
+        )
+        replayed = Fig5Result.from_records(load_records(path))
+        assert replayed.reductions == live.reductions
+        assert replayed.table() == live.table()
+
+    def test_fig5_reductions_need_baseline(self):
+        records = CampaignRunner().run(
+            Scenario(
+                name="no-baseline",
+                workload=WorkloadSpec(Condition.STRESS, n_apps=3),
+                systems=("FCFS",),
+            )
+        )
+        from repro.experiments import reductions_from_records
+
+        with pytest.raises(KeyError, match="Baseline"):
+            reductions_from_records(records)
+
+    def test_incompatible_records_refused(self, tmp_path):
+        """Appends from differently-parameterized campaigns must not be
+        silently averaged together on replay."""
+        from repro.experiments import reductions_from_records
+
+        path = tmp_path / "mixed.jsonl"
+
+        def run(n_apps):
+            return CampaignRunner(store=path).run(
+                Scenario(
+                    name="mixed",
+                    workload=WorkloadSpec(Condition.STRESS, n_apps=n_apps),
+                    systems=("Baseline", "FCFS"),
+                )
+            )
+
+        run(3)
+        run(4)
+        with pytest.raises(ValueError, match="duplicate"):
+            reductions_from_records(load_records(path))
+
+
+class TestBackends:
+    def test_process_backend_single_cell_falls_back(self):
+        cells = CampaignRunner().cells_for(
+            Scenario(
+                name="one-cell",
+                workload=WorkloadSpec(Condition.LOOSE, n_apps=2),
+                systems=("FCFS",),
+            )
+        )
+        serial = SerialBackend().run(cells)
+        parallel = ProcessBackend(jobs=4).run(cells)
+        assert serial[0].to_dict() == parallel[0].to_dict()
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(jobs=0)
+
+
+class TestCampaignCLI:
+    def test_campaign_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "fig5-standard" in out
+
+    def test_campaign_run_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "smoke.jsonl"
+        assert main([
+            "campaign", "run", "smoke", "--jobs", "2", "--out", str(out_path),
+        ]) == 0
+        assert "records appended" in capsys.readouterr().out
+        assert main(["replay", str(out_path)]) == 0
+        assert "Campaign records" in capsys.readouterr().out
+
+    def test_list_systems(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "VersaSlot-BL" in out

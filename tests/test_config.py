@@ -45,6 +45,34 @@ class TestSystemParameters:
         params = DEFAULT_PARAMETERS
         assert 0 < params.switch_threshold_down < params.switch_threshold_up < 1
 
+    def test_override_leak_hazard_closed(self):
+        """One run's overrides must never alias into another run's params.
+
+        ``DEFAULT_PARAMETERS`` is a single module-level object handed to
+        every run; it stays safe because the dataclass is frozen and every
+        override path returns a *new* instance, and because schedulers
+        resolve ``params=None`` per-instance instead of binding the shared
+        object as a default argument.
+        """
+        import dataclasses
+
+        assert dataclasses.fields(SystemParameters)  # is a dataclass
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_PARAMETERS.pr_failure_rate = 0.5
+        tweaked = DEFAULT_PARAMETERS.with_overrides(pr_failure_rate=0.5)
+        assert tweaked is not DEFAULT_PARAMETERS
+        assert DEFAULT_PARAMETERS.pr_failure_rate == 0.0
+
+    def test_scheduler_default_params_resolved_per_instance(self):
+        from repro.fpga import BoardConfig, FPGABoard
+        from repro.schedulers import FCFSScheduler
+        from repro.sim import Engine
+
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        scheduler = FCFSScheduler(board)
+        assert scheduler.params == DEFAULT_PARAMETERS
+
 
 class TestParameterSweep:
     def test_materialize_includes_default(self):

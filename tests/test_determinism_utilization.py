@@ -40,6 +40,52 @@ class TestDeterminism:
         assert long_workload(9, 20) == long_workload(9, 20)
 
 
+class TestBackendEquivalence:
+    """Serial and parallel campaign backends must be bit-identical."""
+
+    def _scenario(self):
+        from repro.campaign import Scenario
+        from repro.workloads import WorkloadSpec
+
+        return Scenario(
+            name="equivalence",
+            workload=WorkloadSpec(Condition.STRESS, n_apps=6, sequence_count=2),
+            systems=("Nimblock", "VersaSlot-BL"),
+            seeds=(21,),
+        )
+
+    def test_parallel_matches_serial_bitwise(self):
+        from repro.campaign import CampaignRunner, ProcessBackend
+
+        serial = CampaignRunner(jobs=1).run(self._scenario())
+        parallel = CampaignRunner(backend=ProcessBackend(jobs=2)).run(
+            self._scenario()
+        )
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.system == b.system
+            assert a.response_times_ms == b.response_times_ms
+            assert a.counters == b.counters
+            assert a.makespan_ms == b.makespan_ms
+            assert a.to_dict() == b.to_dict()
+
+    def test_parallel_run_matrix_matches_serial(self):
+        from repro.experiments.runner import run_matrix
+
+        sequences = [
+            WorkloadGenerator(3).sequence(Condition.STRESS, n_apps=5),
+            WorkloadGenerator(4).sequence(Condition.STANDARD, n_apps=5),
+        ]
+        serial = run_matrix(sequences, systems=["Nimblock", "VersaSlot-OL"])
+        parallel = run_matrix(
+            sequences, systems=["Nimblock", "VersaSlot-OL"], jobs=2
+        )
+        for system, runs in serial.items():
+            for a, b in zip(runs, parallel[system]):
+                assert a.responses.samples_ms == b.responses.samples_ms
+                assert a.stats.pr_count == b.stats.pr_count
+
+
 class TestUtilizationTracker:
     def _tracked_board(self):
         engine = Engine()
