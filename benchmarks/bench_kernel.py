@@ -2,7 +2,9 @@
 
 These are real pytest-benchmark timings (multiple rounds) — they guard
 against performance regressions that would make the figure benches
-impractically slow.
+impractically slow.  The same payloads back the ``repro bench`` CLI
+harness (``repro.bench``), which records them into the committed
+``BENCH_kernel.json`` throughput trajectory.
 """
 
 from repro.apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
@@ -13,7 +15,29 @@ from repro.sim import Engine, Resource
 
 
 def test_kernel_event_throughput(benchmark):
-    """Dispatch rate of chained timeout events."""
+    """Dispatch rate of chained delay events through the kernel hot lane.
+
+    Bare-delay yields ride the pooled fast lane: no event allocation, no
+    callback-list traffic — the path every model loop schedules through.
+    """
+
+    def run():
+        engine = Engine()
+
+        def ticker():
+            for _ in range(5000):
+                yield 1.0
+
+        engine.process(ticker())
+        engine.run()
+        return engine.now
+
+    result = benchmark(run)
+    assert result == 5000.0
+
+
+def test_kernel_timeout_alloc(benchmark):
+    """Dispatch rate of chained ``Engine.timeout`` events (allocating path)."""
 
     def run():
         engine = Engine()
@@ -41,7 +65,7 @@ def test_kernel_resource_contention(benchmark):
             for _ in range(50):
                 request = resource.acquire()
                 yield request
-                yield engine.timeout(1.0)
+                yield 1.0
                 resource.release()
 
         for _ in range(20):
@@ -54,14 +78,19 @@ def test_kernel_resource_contention(benchmark):
 
 
 def test_scheduler_single_app_run(benchmark):
-    """Wall-clock cost of simulating one application end-to-end."""
+    """Wall-clock cost of simulating one application end-to-end.
+
+    Image Compression (the paper's flagship 3-in-1 example) at batch 100:
+    large enough that the steady-state per-item path dominates the
+    one-time PR loads.
+    """
 
     def run():
         reset_instance_ids()
         engine = Engine()
         board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
         scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
-        scheduler.submit(ApplicationInstance(BENCHMARKS["OF"], 20, 0.0))
+        scheduler.submit(ApplicationInstance(BENCHMARKS["IC"], 100, 0.0))
         engine.run(until=50_000_000)
         return scheduler.stats.completions
 

@@ -87,6 +87,14 @@ class ApplicationSpec:
                 raise ValueError(
                     f"bundles of {self.name!r} must tile the task list exactly"
                 )
+        # Per-bundle member latencies, precomputed once: bundle runs and
+        # the bundling decision ask for these on the scheduling hot path.
+        # (object.__setattr__ because the dataclass is frozen; keyed by
+        # identity since the bundles live exactly as long as the spec.)
+        object.__setattr__(self, "_bundle_times", {
+            id(bundle): tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
+            for bundle in self.bundles
+        })
 
     @property
     def task_count(self) -> int:
@@ -108,7 +116,10 @@ class ApplicationSpec:
 
     def bundle_exec_times(self, bundle: BundleSpec) -> Tuple[float, ...]:
         """Per-item latencies of a bundle's member tasks."""
-        return tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
+        times = self._bundle_times.get(id(bundle))
+        if times is None:  # a bundle not belonging to this spec
+            return tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
+        return times
 
     def mean_little_utilization(self) -> ResourceVector:
         """Mean per-task utilization of a Little slot (Fig. 7 left basis)."""

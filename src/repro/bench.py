@@ -1,0 +1,414 @@
+"""Micro-benchmark harness behind ``repro bench``.
+
+Times the simulation-kernel and scheduler hot paths with plain
+``time.perf_counter`` loops (no pytest dependency, so it runs anywhere the
+package does) and records the measurements as a *trajectory*: every
+invocation appends one entry to ``BENCH_kernel.json``, so the file
+accumulates the throughput history of the kernel across commits.
+
+The committed trajectory doubles as the regression baseline: CI runs
+``repro bench --quick --baseline BENCH_kernel.json`` and fails when any
+benchmark's throughput drops more than ``--max-regression`` (default 30%)
+below the newest committed entry.  Absolute numbers are hardware-dependent
+— the gate is deliberately loose so it catches algorithmic regressions
+(accidentally quadratic scans, per-event allocation storms) rather than
+runner jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default trajectory file, at the repository root by convention.
+DEFAULT_OUT = "BENCH_kernel.json"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered micro-benchmark.
+
+    ``payload`` runs one complete measurement and returns the number of
+    work units it performed (events dispatched, batch items completed...);
+    throughput is ``units / best_round_seconds``.
+    """
+
+    name: str
+    unit: str
+    payload: Callable[[], int]
+    #: Payload repetitions per timed round (amortizes timer overhead).
+    iters: int = 1
+    #: Included in ``--quick`` runs?
+    quick: bool = True
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    name: str
+    unit: str
+    units_per_iter: int
+    iters: int
+    rounds: int
+    best_s: float
+    mean_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Work units per second, from the best (least-noisy) round."""
+        return self.units_per_iter / self.best_s if self.best_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "units_per_iter": self.units_per_iter,
+            "iters": self.iters,
+            "rounds": self.rounds,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "throughput": self.throughput,
+        }
+
+
+# ----------------------------------------------------------------------
+# Benchmark payloads
+# ----------------------------------------------------------------------
+def _bench_event_throughput() -> int:
+    """Dispatch rate of chained delay events through the kernel hot lane.
+
+    Post-overhaul kernels dispatch bare-delay yields (``yield 1.0``) — the
+    pooled fast lane every model loop schedules through.  Kernels that
+    predate ``Engine.sleep`` get the same 5000-chained-delays workload via
+    their only delay primitive, the allocating ``Engine.timeout``.
+    """
+    from .sim import Engine
+
+    engine = Engine()
+    n = 5000
+
+    if hasattr(engine, "sleep"):
+        def ticker():
+            for _ in range(n):
+                yield 1.0
+    else:
+        def ticker():
+            for _ in range(n):
+                yield engine.timeout(1.0)
+
+    engine.process(ticker())
+    engine.run()
+    assert engine.now == float(n)
+    return n
+
+
+def _bench_timeout_alloc() -> int:
+    """Dispatch rate of chained ``Engine.timeout`` events.
+
+    Unlike the pooled hot lane, every event here allocates a fresh
+    ``Timeout`` — the trajectory keeps both visible.
+    """
+    from .sim import Engine
+
+    engine = Engine()
+    n = 5000
+
+    def ticker():
+        for _ in range(n):
+            yield engine.timeout(1.0)
+
+    engine.process(ticker())
+    engine.run()
+    assert engine.now == float(n)
+    return n
+
+
+def _bench_resource_contention() -> int:
+    """Grant/queue throughput of a contended FIFO mutex."""
+    from .sim import Engine, Resource
+
+    engine = Engine()
+    resource = Resource(engine, capacity=2)
+
+    def worker():
+        for _ in range(50):
+            request = resource.acquire()
+            yield request
+            yield engine.timeout(1.0)
+            resource.release()
+
+    for _ in range(20):
+        engine.process(worker())
+    engine.run()
+    assert resource.total_grants == 1000
+    return resource.total_grants
+
+
+def _bench_condition_fanout() -> int:
+    """AllOf/AnyOf composition over wide fan-ins."""
+    from .sim import Engine
+
+    engine = Engine()
+    rounds, width = 100, 20
+    fired = 0
+
+    def waiter():
+        nonlocal fired
+        for _ in range(rounds):
+            yield engine.all_of([engine.timeout(1.0) for _ in range(width)])
+            yield engine.any_of([engine.timeout(2.0) for _ in range(width)])
+            fired += 1
+
+    engine.process(waiter())
+    engine.run()
+    assert fired == rounds
+    return rounds * width * 2
+
+
+def _bench_scheduler_single_app() -> int:
+    """One application end-to-end on the VersaSlot Big.Little scheduler.
+
+    Image Compression (the paper's flagship 3-in-1 example) at batch 100:
+    large enough that the steady-state per-item path — launch gate,
+    bundle pipeline, slot bookkeeping — dominates the one-time PR loads.
+    """
+    from .apps import ApplicationInstance, BENCHMARKS, reset_instance_ids
+    from .config import DEFAULT_PARAMETERS
+    from .core import VersaSlotBigLittle
+    from .fpga import BoardConfig, FPGABoard
+    from .sim import Engine
+
+    reset_instance_ids()
+    spec = BENCHMARKS["IC"]
+    batch = 100
+    engine = Engine()
+    board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
+    scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+    scheduler.submit(ApplicationInstance(spec, batch, 0.0))
+    engine.run(until=50_000_000)
+    assert scheduler.stats.completions == 1
+    return spec.task_count * batch
+
+
+def _bench_scheduler_stress_sequence() -> int:
+    """A full stress sequence (8 apps) through VersaSlot Big.Little."""
+    from .experiments.runner import run_sequence
+    from .workloads import Condition, WorkloadGenerator
+
+    arrivals = WorkloadGenerator(7).sequence(Condition.STRESS, n_apps=8)
+    result = run_sequence("VersaSlot-BL", arrivals)
+    assert result.stats.completions == len(arrivals)
+    return sum(inst.batch_size * inst.spec.task_count
+               for inst in (r.inst for r in result.stats.responses))
+
+
+def _bench_fig5_micro() -> int:
+    """Reduced Fig. 5 matrix (every system, one sequence)."""
+    from .experiments import run_fig5
+
+    result = run_fig5(seed=1, sequence_count=1, n_apps=6)
+    return len(result.reductions) * 6
+
+
+#: Registry, in reporting order.  The first two names are the PR-2
+#: acceptance gates and must keep their pytest-benchmark counterparts'
+#: names (see benchmarks/bench_kernel.py).
+BENCHES: Tuple[BenchSpec, ...] = (
+    BenchSpec("kernel_event_throughput", "events", _bench_event_throughput, iters=4),
+    BenchSpec("scheduler_single_app_run", "items", _bench_scheduler_single_app, iters=4),
+    BenchSpec("kernel_timeout_alloc", "events", _bench_timeout_alloc, iters=4),
+    BenchSpec("kernel_resource_contention", "grants", _bench_resource_contention, iters=4),
+    BenchSpec("kernel_condition_fanout", "events", _bench_condition_fanout, iters=2),
+    BenchSpec("scheduler_stress_sequence", "items", _bench_scheduler_stress_sequence),
+    BenchSpec("fig5_micro", "runs", _bench_fig5_micro, quick=False),
+)
+
+
+def run_benches(
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[BenchResult]:
+    """Run the registered benchmarks and return their measurements.
+
+    ``names`` overrides the ``quick`` selection: an explicitly requested
+    benchmark always runs (``quick`` still shortens rounds/iterations).
+    """
+    if names is not None:
+        unknown = set(names) - {spec.name for spec in BENCHES}
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"available: {[spec.name for spec in BENCHES]}"
+            )
+        selected = [spec for spec in BENCHES if spec.name in names]
+    else:
+        selected = [spec for spec in BENCHES if not quick or spec.quick]
+    n_rounds = rounds if rounds is not None else (2 if quick else 5)
+    results = []
+    for spec in selected:
+        iters = max(1, spec.iters // 2) if quick else spec.iters
+        spec.payload()  # warm-up: imports, allocator, branch caches
+        timings = []
+        units = 0
+        for _ in range(n_rounds):
+            start = time.perf_counter()
+            for _ in range(iters):
+                units = spec.payload()
+            timings.append((time.perf_counter() - start) / iters)
+        results.append(BenchResult(
+            name=spec.name,
+            unit=spec.unit,
+            units_per_iter=units,
+            iters=iters,
+            rounds=n_rounds,
+            best_s=min(timings),
+            mean_s=sum(timings) / len(timings),
+        ))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Trajectory file
+# ----------------------------------------------------------------------
+def load_trajectory(path: Path) -> Dict[str, object]:
+    """Read a trajectory file; an empty shell if it does not exist."""
+    if not path.exists():
+        return {"schema": BENCH_SCHEMA, "history": []}
+    data = json.loads(path.read_text())
+    if data.get("schema") != BENCH_SCHEMA or not isinstance(data.get("history"), list):
+        raise ValueError(f"{path} is not a {BENCH_SCHEMA} trajectory file")
+    return data
+
+
+def make_entry(results: Sequence[BenchResult], note: str, quick: bool) -> Dict[str, object]:
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "note": note,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": {result.name: result.to_dict() for result in results},
+    }
+
+
+def append_entry(path: Path, entry: Dict[str, object]) -> Dict[str, object]:
+    """Append ``entry`` to the trajectory at ``path`` (creating it)."""
+    data = load_trajectory(path)
+    data["history"].append(entry)
+    path.write_text(json.dumps(data, indent=1) + "\n")
+    return data
+
+
+def latest_entry(data: Dict[str, object]) -> Optional[Dict[str, object]]:
+    history = data.get("history") or []
+    return history[-1] if history else None
+
+
+def compare_to_baseline(
+    results: Sequence[BenchResult],
+    baseline: Dict[str, object],
+    max_regression: float,
+) -> List[str]:
+    """Throughput regressions of ``results`` vs a trajectory entry.
+
+    Only benchmarks present in both are compared; returns one message per
+    benchmark whose throughput fell below ``(1 - max_regression)`` of the
+    baseline's.
+    """
+    failures = []
+    base_results: Dict[str, Dict] = baseline.get("results", {})  # type: ignore[assignment]
+    for result in results:
+        base = base_results.get(result.name)
+        if not base:
+            continue
+        base_tp = float(base["throughput"])
+        floor = base_tp * (1.0 - max_regression)
+        if result.throughput < floor:
+            failures.append(
+                f"{result.name}: {result.throughput:,.0f} {result.unit}/s is "
+                f"{(1 - result.throughput / base_tp) * 100.0:.1f}% below the "
+                f"baseline {base_tp:,.0f} (allowed: {max_regression * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def format_table(results: Sequence[BenchResult],
+                 baseline: Optional[Dict[str, object]] = None) -> str:
+    """Human-readable report, with a vs-baseline column when available."""
+    base_results: Dict[str, Dict] = (baseline or {}).get("results", {})  # type: ignore[assignment]
+    lines = [f"{'benchmark':<28s} {'throughput':>16s} {'best':>10s} {'vs baseline':>12s}"]
+    for result in results:
+        base = base_results.get(result.name)
+        if base and float(base["throughput"]) > 0:
+            ratio = result.throughput / float(base["throughput"])
+            vs = f"{ratio:10.2f}x"
+        else:
+            vs = "-"
+        lines.append(
+            f"{result.name:<28s} {result.throughput:>11,.0f} {result.unit + '/s':<5s}"
+            f" {result.best_s * 1e3:>8.2f}ms {vs:>12s}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (wired into ``repro bench``)
+# ----------------------------------------------------------------------
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds and only the fast benchmarks (CI smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the number of timed rounds per benchmark")
+    parser.add_argument("--only", action="append", default=None, metavar="NAME",
+                        help="run only the named benchmark (repeatable)")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT, metavar="PATH",
+                        help=f"trajectory file to append to (default: {DEFAULT_OUT})")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and report only; do not touch the trajectory")
+    parser.add_argument("--baseline", type=str, default=None, metavar="PATH",
+                        help="trajectory file whose newest entry gates regressions")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional throughput drop vs the baseline "
+                             "(default: 0.30)")
+    parser.add_argument("--note", type=str, default="",
+                        help="free-form label stored with the trajectory entry")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    try:
+        results = run_benches(quick=args.quick, rounds=args.rounds, names=args.only)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    baseline_entry = None
+    if args.baseline is not None:
+        try:
+            baseline_entry = latest_entry(load_trajectory(Path(args.baseline)))
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if baseline_entry is None:
+            print(f"error: {args.baseline} has no history entries", file=sys.stderr)
+            return 2
+    print(format_table(results, baseline_entry))
+    if not args.no_write:
+        entry = make_entry(results, note=args.note, quick=args.quick)
+        data = append_entry(Path(args.out), entry)
+        print(f"\nappended entry #{len(data['history'])} to {args.out}")
+    if baseline_entry is not None:
+        failures = compare_to_baseline(results, baseline_entry, args.max_regression)
+        if failures:
+            print("\nthroughput regression vs baseline:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs baseline (tolerance "
+              f"{args.max_regression * 100.0:.0f}%)")
+    return 0

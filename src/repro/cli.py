@@ -12,6 +12,7 @@ parallel backend, and replays persisted results:
     python -m repro campaign list
     python -m repro campaign run fig5-standard --jobs 4
     python -m repro replay results/fig5.jsonl --figure fig5
+    python -m repro bench --quick --baseline BENCH_kernel.json
     python -m repro list
 """
 
@@ -21,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .bench import add_bench_arguments, run_bench_command
 from .campaign import (
     CampaignRunner,
     ResultsStore,
@@ -89,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None,
                      help="replace the scenario's seed set with one seed")
     add_parallel_options(run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the kernel/scheduler micro-benchmarks and update the "
+             "BENCH_kernel.json throughput trajectory",
+    )
+    add_bench_arguments(bench)
 
     replay = sub.add_parser("replay", help="re-render results from persisted records")
     replay.add_argument("path", help="JSONL records file written by --out")
@@ -177,6 +186,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "bench":
+        return run_bench_command(args)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "fig5":

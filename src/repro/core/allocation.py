@@ -50,7 +50,10 @@ def allocate_big_little(
     # Line 1: Big slots remaining after reservations by bound apps (one
     # reservation per bound app with work left — apps time-share the Big
     # slots beyond that, mirroring the paper's per-app decrement).
-    reserved_big = sum(1 for app in sched.s_big if app.unfinished_bundle_count() > 0)
+    reserved_big = 0
+    for app in sched.s_big:
+        if app.unfinished_bundle_count() > 0:
+            reserved_big += 1
     b_avail = big_total - reserved_big
     l_idle = little_total - sched.committed_little()
 
@@ -60,19 +63,24 @@ def allocate_big_little(
 
     # Lines 4-6: unbind not-yet-started Little apps for rebinding.
     if rebinding and b_avail > 0:
+        rebound = False
         for app in list(sched.s_little):
             if not app.started and app.spec.can_bundle:
                 sched.s_little.remove(app)
                 app.alloc_little = 0
                 sched.c_wait.append(app)
-        # Keep the waiting list in arrival order after rebinding.
-        sched.c_wait.sort(key=lambda app: app.inst.app_id)
+                rebound = True
+        if rebound:
+            # Keep the waiting list in arrival order after rebinding.
+            sched.c_wait.sort(key=lambda app: app.inst.app_id)
 
     # Line 7: Little slots not yet promised to bound apps.
-    l_left = little_total - sum(
-        min(app.alloc_little, app.unfinished_task_count())
-        for app in sched.s_little
-    )
+    promised = 0
+    for app in sched.s_little:
+        allocated = app.alloc_little
+        unfinished = app.unfinished_task_count()
+        promised += allocated if allocated < unfinished else unfinished
+    l_left = little_total - promised
 
     # Lines 8-13: primary allocation for the waiting list.
     for app in list(sched.c_wait):

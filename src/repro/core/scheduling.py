@@ -47,6 +47,8 @@ def ready_task_queue(scheduler: OnBoardScheduler) -> List[Tuple[AppRun, Union[Ta
 def dispatch_order(scheduler: OnBoardScheduler) -> List[AppRun]:
     """Dispatch priority: Big-bound apps first, then arrival order."""
     live = [app for app in scheduler.apps if not app.finished and not app.frozen]
+    if len(live) < 2:
+        return live
     return sorted(live, key=lambda app: (not app.in_big, app.inst.app_id))
 
 

@@ -26,10 +26,13 @@ from ..schedulers.nimblock import NimblockScheduler
 from ..schedulers.runtime import AppRun
 from .allocation import allocate_big_little
 from .bundling import serial_preferred
+from .scheduling import dispatch_order
 
 
 class VersaSlotOnlyLittle(NimblockScheduler):
     """VersaSlot on an Only.Little board: dual-core decoupled PR."""
+
+    __slots__ = ()
 
     name = "VersaSlot-OL"
 
@@ -49,6 +52,8 @@ class VersaSlotBigLittle(OnBoardScheduler):
     phases for ablation (DESIGN.md); both default on, as in the paper.
     """
 
+    __slots__ = ("rebinding", "redistribution", "_opt_big_cb", "_opt_little_cb")
+
     name = "VersaSlot-BL"
 
     def __init__(
@@ -67,6 +72,10 @@ class VersaSlotBigLittle(OnBoardScheduler):
         super().__init__(board, params, dual_core=True, preemption=True, tracer=tracer)
         self.rebinding = rebinding
         self.redistribution = redistribution
+        # Bound once: allocate() runs on every pass, and creating the two
+        # method objects per call shows up in campaign profiles.
+        self._opt_big_cb = self._optimal_big
+        self._opt_little_cb = self._optimal_little
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -74,8 +83,8 @@ class VersaSlotBigLittle(OnBoardScheduler):
     def allocate(self) -> None:
         allocate_big_little(
             self,
-            self._optimal_big,
-            self._optimal_little,
+            self._opt_big_cb,
+            self._opt_little_cb,
             rebinding=self.rebinding,
             redistribution=self.redistribution,
         )
@@ -99,8 +108,6 @@ class VersaSlotBigLittle(OnBoardScheduler):
 
     def dispatch_order(self):
         """Big-bound apps first: Big slots cannot be back-filled by tasks."""
-        from .scheduling import dispatch_order
-
         return dispatch_order(self)
 
     # Preemption: Big-bound apps are exempt (they cannot be preempted

@@ -24,7 +24,7 @@ class SlotKind(Enum):
     BIG = "big"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Bitstream:
     """A pre-generated partial (or full) bitstream."""
 

@@ -16,7 +16,7 @@ from .bitstream import BitstreamLibrary, SlotKind
 from .cpu import ProcessingSystem
 from .interconnect import AuroraLink
 from .pcap import PCAP
-from .slots import BoardConfig, Slot, build_slots, fabric_capacity
+from .slots import BoardConfig, Slot, SlotState, build_slots, fabric_capacity
 
 
 class FPGABoard:
@@ -39,30 +39,38 @@ class FPGABoard:
         self.sd_card = BitstreamLibrary(params)
         self.slots: List[Slot] = build_slots(engine, config, params)
         self.link: Optional[AuroraLink] = None
+        # The slot set is fixed for the board's lifetime; the per-kind
+        # partition is asked for on every scheduler pass, so precompute it.
+        self._slots_by_kind = {
+            kind: [slot for slot in self.slots if slot.kind is kind]
+            for kind in SlotKind
+        }
 
     # ------------------------------------------------------------------
     # Slot queries used by every scheduler
     # ------------------------------------------------------------------
     def slots_of(self, kind: SlotKind) -> List[Slot]:
         """All slots of one shape, in index order."""
-        return [slot for slot in self.slots if slot.kind is kind]
+        return list(self._slots_by_kind[kind])
 
     def idle_slots(self, kind: SlotKind) -> List[Slot]:
         """Idle slots of one shape."""
-        return [slot for slot in self.slots_of(kind) if slot.is_idle]
+        return [slot for slot in self._slots_by_kind[kind] if slot.is_idle]
 
     def idle_slot(self, kind: SlotKind) -> Optional[Slot]:
         """The first idle slot of one shape, or None."""
-        idle = self.idle_slots(kind)
-        return idle[0] if idle else None
+        for slot in self._slots_by_kind[kind]:
+            if slot.state is SlotState.IDLE:
+                return slot
+        return None
 
     @property
     def big_slot_count(self) -> int:
-        return len(self.slots_of(SlotKind.BIG))
+        return len(self._slots_by_kind[SlotKind.BIG])
 
     @property
     def little_slot_count(self) -> int:
-        return len(self.slots_of(SlotKind.LITTLE))
+        return len(self._slots_by_kind[SlotKind.LITTLE])
 
     def fabric_capacity(self):
         """Total reconfigurable LUT/FF capacity of this board."""

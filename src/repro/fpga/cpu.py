@@ -19,6 +19,8 @@ from ..sim import Engine, Resource
 class Core(Resource):
     """One ARM core of the PS, usable by one hypervisor activity at a time."""
 
+    __slots__ = ("index",)
+
     def __init__(self, engine: Engine, index: int) -> None:
         super().__init__(engine, capacity=1, name=f"core{index}")
         self.index = index

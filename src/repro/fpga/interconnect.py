@@ -41,7 +41,7 @@ class AuroraLink:
         yield request
         duration = fixed + self.params.transfer_time_ms(size_mb)
         try:
-            yield self.engine.timeout(duration)
+            yield duration
         finally:
             self._channel.release()
             self.transfers += 1

@@ -81,7 +81,7 @@ class PCAP:
         spent = 0.0
         try:
             for attempt in range(self.params.pr_max_retries + 1):
-                yield self.engine.timeout(transfer)
+                yield transfer
                 spent += transfer
                 if (
                     self.params.pr_failure_rate <= 0.0

@@ -36,7 +36,7 @@ class BoardConfig(Enum):
     BIG_LITTLE = "big_little"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotOccupancy:
     """What a slot currently hosts (for utilization accounting)."""
 
@@ -53,6 +53,9 @@ class Slot:
     load/unload with ``(slot, occupancy_or_None)`` — the utilization tracker
     hooks in there.
     """
+
+    __slots__ = ("engine", "index", "kind", "capacity", "state", "occupancy",
+                 "observers", "reconfigurations")
 
     def __init__(self, engine: Engine, index: int, kind: SlotKind, capacity: ResourceVector) -> None:
         self.engine = engine

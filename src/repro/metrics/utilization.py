@@ -67,53 +67,73 @@ def ic_detail(app: ApplicationSpec) -> Tuple[List[float], float, float]:
 class UtilizationTracker:
     """Time-weighted LUT/FF occupancy of a board's reconfigurable fabric.
 
-    Attach with :meth:`attach`; it subscribes to every slot's observers
-    and integrates occupied resources over time.  ``mean_utilization``
-    normalizes by the capacity of the *occupied* slots (matching the
-    paper's per-slot utilization) or by the whole fabric.
+    Construction subscribes to every slot's observers and integrates
+    occupied resources over time.  ``mean_*`` normalizes by the capacity of
+    the *occupied* slots (matching the paper's per-slot utilization) or by
+    the whole fabric.
+
+    Every slot load/unload lands here, so the handler is O(1): the slot →
+    index map is precomputed at attach time (no ``list.index`` scan per
+    event) and the integrals are plain float accumulators updated in place
+    (no :class:`ResourceVector` allocation per event).
     """
+
+    __slots__ = (
+        "board", "engine", "_slot_index", "_current", "_last_time",
+        "_cur_usage_lut", "_cur_usage_ff", "_cur_cap_lut", "_cur_cap_ff",
+        "_wu_lut", "_wu_ff", "_wc_lut", "_wc_ff", "_elapsed",
+    )
 
     def __init__(self, board: FPGABoard) -> None:
         self.board = board
         self.engine = board.engine
+        self._slot_index: Dict[Slot, int] = {}
         self._current: Dict[int, SlotOccupancy] = {}
         self._last_time = self.engine.now
-        self._weighted_usage = ResourceVector.zero()
-        self._weighted_capacity = ResourceVector.zero()
+        # Running usage/capacity of the currently occupied slots, and the
+        # time-weighted integrals of both (component-wise).
+        self._cur_usage_lut = self._cur_usage_ff = 0.0
+        self._cur_cap_lut = self._cur_cap_ff = 0.0
+        self._wu_lut = self._wu_ff = 0.0
+        self._wc_lut = self._wc_ff = 0.0
         self._elapsed = 0.0
-        for slot in board.slots:
+        for index, slot in enumerate(board.slots):
+            self._slot_index[slot] = index
             slot.observers.append(self._on_slot_event)
 
     def _advance(self) -> None:
         now = self.engine.now
         dt = now - self._last_time
         if dt > 0:
-            usage = ResourceVector.total(occ.usage for occ in self._current.values())
-            capacity = ResourceVector.total(
-                self.board.slots[i].capacity for i in self._current
-            )
-            self._weighted_usage = self._weighted_usage + usage.scale(dt)
-            self._weighted_capacity = self._weighted_capacity + capacity.scale(dt)
+            self._wu_lut += self._cur_usage_lut * dt
+            self._wu_ff += self._cur_usage_ff * dt
+            self._wc_lut += self._cur_cap_lut * dt
+            self._wc_ff += self._cur_cap_ff * dt
             self._elapsed += dt
         self._last_time = now
 
     def _on_slot_event(self, slot: Slot, occupancy: Optional[SlotOccupancy]) -> None:
         self._advance()
-        index = self.board.slots.index(slot)
-        if occupancy is None:
-            self._current.pop(index, None)
-        else:
+        index = self._slot_index[slot]
+        previous = self._current.pop(index, None)
+        if previous is not None:
+            self._cur_usage_lut -= previous.usage.lut
+            self._cur_usage_ff -= previous.usage.ff
+            self._cur_cap_lut -= slot.capacity.lut
+            self._cur_cap_ff -= slot.capacity.ff
+        if occupancy is not None:
             self._current[index] = occupancy
+            self._cur_usage_lut += occupancy.usage.lut
+            self._cur_usage_ff += occupancy.usage.ff
+            self._cur_cap_lut += slot.capacity.lut
+            self._cur_cap_ff += slot.capacity.ff
 
     def mean_occupied_utilization(self) -> ResourceVector:
         """Mean usage / capacity over *occupied* slots, time-weighted."""
         self._advance()
-        if self._weighted_capacity.lut <= 0 or self._weighted_capacity.ff <= 0:
+        if self._wc_lut <= 0 or self._wc_ff <= 0:
             return ResourceVector.zero()
-        return ResourceVector(
-            self._weighted_usage.lut / self._weighted_capacity.lut,
-            self._weighted_usage.ff / self._weighted_capacity.ff,
-        )
+        return ResourceVector(self._wu_lut / self._wc_lut, self._wu_ff / self._wc_ff)
 
     def mean_fabric_utilization(self) -> ResourceVector:
         """Mean usage over the whole fabric capacity, time-weighted."""
@@ -122,6 +142,6 @@ class UtilizationTracker:
             return ResourceVector.zero()
         fabric = self.board.fabric_capacity()
         return ResourceVector(
-            self._weighted_usage.lut / (fabric.lut * self._elapsed),
-            self._weighted_usage.ff / (fabric.ff * self._elapsed),
+            self._wu_lut / (fabric.lut * self._elapsed),
+            self._wu_ff / (fabric.ff * self._elapsed),
         )

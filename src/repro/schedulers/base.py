@@ -22,13 +22,18 @@ from ..fpga.bitstream import Bitstream, SlotKind
 from ..fpga.board import FPGABoard
 from ..fpga.slots import Slot
 from ..sim import Engine, Event, Store, Tracer, NULL_TRACER
-from .runtime import AppRun, BundleRun, Payload, TaskRun, occupancy_for
+from ..sim.events import PENDING
+from .runtime import (
+    AppRun,
+    BLOCK_EPSILON_MS,
+    BundleRun,
+    Payload,
+    TaskRun,
+    occupancy_for,
+)
 
-#: Numeric tolerance when deciding whether a wait counts as blocking.
-BLOCK_EPSILON_MS = 1e-6
 
-
-@dataclass
+@dataclass(slots=True)
 class ResponseRecord:
     """Response time of one completed application."""
 
@@ -40,7 +45,7 @@ class ResponseRecord:
         return self.finish_time - self.inst.arrival_time
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerStats:
     """Counters every scheduler maintains; consumed by metrics and D_switch."""
 
@@ -88,7 +93,7 @@ class SchedulerStats:
         return [record.response_ms for record in self.responses]
 
 
-@dataclass
+@dataclass(slots=True)
 class PRPlan:
     """A planned partial reconfiguration, queued for the PCAP."""
 
@@ -104,6 +109,15 @@ class PRPlan:
 
 class OnBoardScheduler:
     """Base class for all slot-based (spatio-temporal) schedulers."""
+
+    __slots__ = (
+        "board", "engine", "params", "dual_core", "preemption",
+        "preemption_quantum_ms", "tracer", "stats", "c_wait", "s_big",
+        "s_little", "apps", "intake_open", "_wake_pending", "_wake_event",
+        "_pr_inflight", "_inflight_app", "_last_preempt_ms",
+        "candidate_listeners", "finish_listeners", "pr_queue", "_core",
+        "_launch_overhead_ms", "_action_ms", "big_total", "little_total",
+    )
 
     #: Human-readable system name, overridden by subclasses.
     name = "abstract"
@@ -154,6 +168,15 @@ class OnBoardScheduler:
         self.candidate_listeners: List[Callable[["OnBoardScheduler"], None]] = []
         self.finish_listeners: List[Callable[["OnBoardScheduler", AppRun], None]] = []
         self.pr_queue: Store = Store(self.engine, name=f"{board.name}-pr")
+        # Hot-path caches: the scheduler core and the two per-launch delay
+        # parameters are immutable for the scheduler's lifetime, and the
+        # launch gate runs once per batch item.
+        self._core = board.ps.scheduler_core
+        self._launch_overhead_ms = self.params.launch_overhead_ms
+        self._action_ms = self.params.scheduler_action_ms
+        #: Slot-kind capacities (fixed per board; queried every pass).
+        self.big_total = board.big_slot_count
+        self.little_total = board.little_slot_count
         self.engine.process(self._scheduler_loop())
         if self.dual_core:
             self.engine.process(self._pr_server_loop())
@@ -169,7 +192,8 @@ class OnBoardScheduler:
         self.apps.append(app_run)
         self.c_wait.append(app_run)
         self.stats.arrivals += 1
-        self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
+        if self.tracer.enabled:
+            self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
         self._notify_candidates()
         self.kick()
         return app_run
@@ -216,8 +240,9 @@ class OnBoardScheduler:
     def kick(self) -> None:
         """Request a scheduler pass (idempotent within a time step)."""
         self._wake_pending = True
-        if self._wake_event is not None and not self._wake_event.triggered:
-            self._wake_event.succeed()
+        event = self._wake_event
+        if event is not None and event._value is PENDING:  # not yet triggered
+            event.succeed()
 
     # ------------------------------------------------------------------
     # Policy hooks
@@ -232,7 +257,7 @@ class OnBoardScheduler:
 
     def maybe_preempt(self) -> None:
         """Preemption policy; default reclaims Little slots for waiters."""
-        if not self.preemption:
+        if not self.preemption or not self.c_wait:
             return
         self.preempt_little_for_waiters()
 
@@ -288,10 +313,10 @@ class OnBoardScheduler:
             yield from self._pass()
 
     def _pass(self) -> Generator:
-        core = self.board.ps.scheduler_core
+        core = self._core
         request = core.acquire()
         yield request
-        yield self.engine.timeout(self.params.scheduler_action_ms)
+        yield self._action_ms
         core.release()
         self.maybe_preempt()
         self.allocate()
@@ -306,7 +331,7 @@ class OnBoardScheduler:
 
     def _inline_pr(self, plan: PRPlan) -> Generator:
         """Single-core PR: the scheduler core is suspended during the load."""
-        core = self.board.ps.scheduler_core
+        core = self._core
         request = core.acquire()
         yield request
         self._pr_inflight += 1
@@ -338,10 +363,13 @@ class OnBoardScheduler:
 
     def _mark_cross_app(self, plans: List[PRPlan]) -> None:
         """Flag plans that will queue behind another application's PR."""
+        if not plans:
+            return
+        queued = self.pr_queue._items  # live deque; items() would copy
         for index, plan in enumerate(plans):
             plan.cross_app = (
                 (self._inflight_app is not None and self._inflight_app is not plan.app_run)
-                or any(q.app_run is not plan.app_run for q in self.pr_queue.items())
+                or any(q.app_run is not plan.app_run for q in queued)
                 or any(p.app_run is not plan.app_run for p in plans[:index])
             )
 
@@ -350,7 +378,11 @@ class OnBoardScheduler:
     # ------------------------------------------------------------------
     def dispatch_order(self) -> List[AppRun]:
         """Apps considered for PR dispatch, oldest arrival first."""
-        return [app for app in self.apps if not app.finished and not app.frozen]
+        apps = self.apps
+        if len(apps) == 1:  # single-tenant fast path (no filtering garbage)
+            app = apps[0]
+            return apps if not app.finished and not app.frozen else []
+        return [app for app in apps if not app.finished and not app.frozen]
 
     def plan_dispatch(self) -> List[PRPlan]:
         """Turn allocations into concrete PR plans against idle slots."""
@@ -391,14 +423,14 @@ class OnBoardScheduler:
         run makes room; the dispatch guard then reloads the missing stage
         first.  Without this, the app livelocks until the board drains.
         """
-        payloads = app.next_little_payloads()
-        if not payloads:
-            return
         runs = [run for run in app.loaded.values() if isinstance(run, TaskRun)]
         if not runs:
             return
         if any(run.preempt_requested for run in runs):
             return  # a rotation is already in flight
+        payloads = app.next_little_payloads()
+        if not payloads:
+            return
         highest = max(runs, key=lambda run: run.task.index)
         if highest.task.index > payloads[0].index:
             highest.request_preempt()
@@ -414,9 +446,11 @@ class OnBoardScheduler:
         else:
             app.used_little += 1
         bitstream = self.board.sd_card.register(payload.name, slot.kind)
-        self.tracer.emit(
-            self.engine.now, "pr_plan", app=app.inst.name, payload=payload.name, slot=slot.name
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "pr_plan", app=app.inst.name, payload=payload.name,
+                slot=slot.name,
+            )
         return PRPlan(
             app_run=app,
             payload=payload,
@@ -438,10 +472,11 @@ class OnBoardScheduler:
         else:
             run = TaskRun(self, app, plan.payload, plan.slot)
         app.loaded[plan.payload.name] = run
-        self.tracer.emit(
-            self.engine.now, "pr_done", app=app.inst.name, payload=plan.payload.name,
-            wait_ms=max(0.0, queue_wait),
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "pr_done", app=app.inst.name, payload=plan.payload.name,
+                wait_ms=max(0.0, queue_wait),
+            )
         self.kick()
 
     # ------------------------------------------------------------------
@@ -454,19 +489,26 @@ class OnBoardScheduler:
         flight therefore stalls it — the task execution blocking problem.
         Blocking is attributed to PR contention only when the in-flight or
         queued PR belongs to a *different* application (Fig. 2 semantics).
+
+        This is the canonical form; the run loops in
+        ``schedulers.runtime`` inline it (marked there) to spare a
+        generator frame per batch item.  Keep them in sync.
         """
-        core = self.board.ps.scheduler_core
-        started = self.engine.now
+        engine = self.engine
+        core = self._core
+        started = engine.now
         pr_busy = (
-            (self._inflight_app is not None and self._inflight_app is not app_run)
-            or any(q.app_run is not app_run for q in self.pr_queue.items())
+            self._inflight_app is not None and self._inflight_app is not app_run
         )
+        if not pr_busy and self.pr_queue._items:
+            # Iterate the live deque: ``items()`` would copy it per launch.
+            pr_busy = any(q.app_run is not app_run for q in self.pr_queue._items)
         request = core.acquire()
         yield request
-        wait = self.engine.now - started
+        wait = engine.now - started
         self.stats.note_launch(wait, pr_in_flight=pr_busy)
         try:
-            yield self.engine.timeout(self.params.launch_overhead_ms)
+            yield self._launch_overhead_ms
         finally:
             core.release()
 
@@ -508,21 +550,21 @@ class OnBoardScheduler:
     # ------------------------------------------------------------------
     # Capacity queries shared by allocation policies
     # ------------------------------------------------------------------
-    @property
-    def big_total(self) -> int:
-        return self.board.big_slot_count
-
-    @property
-    def little_total(self) -> int:
-        return self.board.little_slot_count
-
     def committed_little(self) -> int:
         """Little slots currently committed (loaded or reconfiguring)."""
-        return sum(app.used_little for app in self.apps if not app.finished)
+        total = 0
+        for app in self.apps:
+            if not app.finished:
+                total += app.used_little
+        return total
 
     def committed_big(self) -> int:
         """Big slots currently committed (loaded or reconfiguring)."""
-        return sum(app.used_big for app in self.apps if not app.finished)
+        total = 0
+        for app in self.apps:
+            if not app.finished:
+                total += app.used_big
+        return total
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} on {self.board.name}>"

@@ -22,6 +22,9 @@ from .base import ResponseRecord, SchedulerStats
 class BaselineScheduler:
     """Whole-FPGA FIFO multiplexing via full reconfiguration."""
 
+    __slots__ = ("board", "engine", "params", "tracer", "stats", "_queue",
+                 "_pending")
+
     name = "Baseline"
 
     def __init__(
@@ -62,13 +65,13 @@ class BaselineScheduler:
                 yield from self.board.pcap.load(bitstream)
                 # Full reconfiguration interrupts the whole system: the
                 # shell and PS-side state must be brought up again.
-                yield self.engine.timeout(self.params.full_restart_overhead_ms)
+                yield self.params.full_restart_overhead_ms
             finally:
                 core.release()
             self.stats.note_pr(0.0)
             # All stages resident: ideal item-level pipeline across the app.
             duration = pipelined_exec_time(inst.spec.tasks, inst.batch_size)
-            yield self.engine.timeout(duration)
+            yield duration
             self.stats.completions += 1
             self.stats.responses.append(ResponseRecord(inst, self.engine.now))
             self._pending.remove(inst)

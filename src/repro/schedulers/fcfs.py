@@ -21,6 +21,8 @@ from .base import OnBoardScheduler
 class FCFSScheduler(OnBoardScheduler):
     """Static one-slot-per-task reservations in strict arrival order."""
 
+    __slots__ = ()
+
     name = "FCFS"
 
     #: Naive cross-slot streaming: coarse double-buffered chunks via DDR.

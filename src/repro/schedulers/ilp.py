@@ -74,6 +74,35 @@ def optimal_little_slots(
         return _search_little(app, batch_size, pr_time_ms, max_slots)
 
 
+@lru_cache(maxsize=4096)
+def _optimal_big(
+    app_key: str,
+    bundle_count: int,
+    batch_size: int,
+    pr_time_ms: float,
+    max_slots: int,
+) -> int:
+    from ..apps.benchmarks import BENCHMARKS  # local import to keep cache key small
+
+    app = BENCHMARKS.get(app_key)
+    if app is None or len(app.bundles) != bundle_count:
+        raise KeyError(app_key)
+    return _search_big(app, batch_size, pr_time_ms, max_slots)
+
+
+def _search_big(app: ApplicationSpec, batch_size: int, pr_time_ms: float, max_slots: int) -> int:
+    limit = max(1, min(len(app.bundles), max_slots))
+    spans = [
+        estimate_big_makespan_ms(app, batch_size, s, pr_time_ms)
+        for s in range(1, limit + 1)
+    ]
+    best = min(spans)
+    for s, span in enumerate(spans, start=1):
+        if span <= best * (1.0 + EFFICIENCY_TOLERANCE):
+            return s
+    return limit  # pragma: no cover
+
+
 def optimal_big_slots(
     app: ApplicationSpec,
     batch_size: int,
@@ -83,16 +112,12 @@ def optimal_big_slots(
     """O_B: smallest Big-slot count within 5 % of the best bundled makespan."""
     if not app.can_bundle:
         return 0
-    limit = max(1, min(len(app.bundles), max_slots))
-    spans = [
-        estimate_big_makespan_ms(app, batch_size, s, big_pr_time_ms)
-        for s in range(1, limit + 1)
-    ]
-    best = min(spans)
-    for s, span in enumerate(spans, start=1):
-        if span <= best * (1.0 + EFFICIENCY_TOLERANCE):
-            return s
-    return limit  # pragma: no cover
+    try:
+        return _optimal_big(
+            app.name, len(app.bundles), batch_size, big_pr_time_ms, max_slots
+        )
+    except KeyError:
+        return _search_big(app, batch_size, big_pr_time_ms, max_slots)
 
 
 def allocate_slots_milp(

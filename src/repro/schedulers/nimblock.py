@@ -20,6 +20,8 @@ from .ilp import optimal_little_slots
 class NimblockScheduler(OnBoardScheduler):
     """ILP-optimal slot counts + leftover sharing + preemption, single-core."""
 
+    __slots__ = ()
+
     name = "Nimblock"
 
     def __init__(

@@ -25,6 +25,8 @@ class RoundRobinScheduler(OnBoardScheduler):
     reconfiguration — the PR churn that caps RR's gains in the paper.
     """
 
+    __slots__ = ("_rotation", "_last_rotate_ms")
+
     name = "RR"
 
     #: Naive cross-slot streaming: coarse double-buffered chunks via DDR.

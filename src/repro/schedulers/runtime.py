@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple, Union
 
-from ..apps.application import ApplicationInstance, BundleSpec, TaskSpec
+from ..apps.application import BUNDLE_SIZE, ApplicationInstance, BundleSpec, TaskSpec
 from ..fpga.resvec import ResourceVector
 from ..fpga.slots import Slot, SlotOccupancy
 from ..sim import Event, Interrupt
+from ..sim.events import PENDING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .base import OnBoardScheduler
@@ -32,9 +33,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: A loadable payload: a single task (Little slot) or a bundle (Big slot).
 Payload = Union[TaskSpec, BundleSpec]
 
+#: Numeric tolerance when deciding whether a wait counts as blocking.
+#: Defined here (the bottom of the scheduler import graph) and re-exported
+#: by ``schedulers.base``; the inlined launch gates below apply it.
+BLOCK_EPSILON_MS = 1e-6
+
 
 class AppRun:
     """Runtime state of one application on one board."""
+
+    __slots__ = (
+        "scheduler", "inst", "spec", "batch", "done_counts", "_item_events",
+        "alloc_big", "alloc_little", "used_big", "used_little", "in_big",
+        "started", "pending_pr", "loaded", "finished", "finish_time",
+        "frozen", "_unfinished_tasks", "_bundle_members_left",
+        "_unfinished_bundles",
+    )
 
     def __init__(self, scheduler: "OnBoardScheduler", inst: ApplicationInstance) -> None:
         self.scheduler = scheduler
@@ -43,7 +57,24 @@ class AppRun:
         self.batch = inst.batch_size
         #: Items completed per task, in strict item order.
         self.done_counts: List[int] = [0] * self.spec.task_count
-        self._item_events: Dict[Tuple[int, int], Event] = {}
+        #: Tasks whose batch is not yet complete, maintained incrementally
+        #: by :meth:`mark_item_done` so allocation policies query progress
+        #: in O(1) instead of rescanning ``done_counts``.  The per-bundle
+        #: member countdown gives the same O(1) answer for bundles
+        #: (Algorithm 1 queries both on every pass).
+        self._unfinished_tasks = self.spec.task_count if self.batch > 0 else 0
+        if self.spec.bundles and self.batch > 0:
+            self._bundle_members_left = [
+                len(bundle.task_indices) for bundle in self.spec.bundles
+            ]
+            self._unfinished_bundles = len(self.spec.bundles)
+        else:
+            self._bundle_members_left = None
+            self._unfinished_bundles = 0
+        #: Pipeline waiters, keyed task index -> {item -> event}.  The
+        #: nested shape lets the (very hot) completion path probe by int
+        #: instead of allocating a key tuple per member per item.
+        self._item_events: Dict[int, Dict[int, Event]] = {}
         #: Allocated slots (R_Ai in the paper).
         self.alloc_big = 0
         self.alloc_little = 0
@@ -73,14 +104,23 @@ class AppRun:
     def item_event(self, task_index: int, item: int) -> Event:
         """Event firing when item ``item`` of task ``task_index`` completes."""
         engine = self.scheduler.engine
-        if self.item_done(task_index, item):
-            event = engine.event()
-            event.succeed()
-            return event
-        key = (task_index, item)
-        if key not in self._item_events:
-            self._item_events[key] = engine.event()
-        return self._item_events[key]
+        if self.done_counts[task_index] > item:
+            return Event(engine).succeed()
+        task_events = self._item_events.get(task_index)
+        if task_events is None:
+            task_events = self._item_events[task_index] = {}
+        event = task_events.get(item)
+        if event is None:
+            # Flattened Event(engine): pipeline stages wait on one of
+            # these per batch item.
+            event = Event.__new__(Event)
+            event.engine = engine
+            event.callbacks = []
+            event._value = PENDING
+            event._ok = True
+            event._fast_process = None
+            task_events[item] = event
+        return event
 
     def mark_item_done(self, task_index: int, item: int) -> None:
         """Record completion of one batch item; items complete in order."""
@@ -90,10 +130,56 @@ class AppRun:
                 f"{self.inst.name}: task {task_index} completed item {item}, "
                 f"expected {expected}"
             )
-        self.done_counts[task_index] += 1
-        event = self._item_events.pop((task_index, item), None)
-        if event is not None and not event.triggered:
-            event.succeed()
+        self.done_counts[task_index] = done = expected + 1
+        if done == self.batch:
+            self._unfinished_tasks -= 1
+            left = self._bundle_members_left
+            if left is not None:
+                # Bundles tile the task list consecutively (validated by
+                # the spec), so the bundle index is a plain division.
+                bundle_index = task_index // BUNDLE_SIZE
+                left[bundle_index] -= 1
+                if left[bundle_index] == 0:
+                    self._unfinished_bundles -= 1
+        if self._item_events:  # skip the dict work when nobody waits
+            task_events = self._item_events.get(task_index)
+            if task_events:
+                event = task_events.pop(item, None)
+                if event is not None and not event.triggered:
+                    event.succeed()
+
+    def mark_bundle_item_done(self, members: Tuple[int, ...], item: int) -> None:
+        """Record one batch item for every member of one bundle at once.
+
+        Equivalent to calling :meth:`mark_item_done` for each member (the
+        bundle publishes all members together), folded into a single call
+        because it runs once per batch item of every Big-slot run.
+        """
+        done_counts = self.done_counts
+        next_count = item + 1
+        for member in members:
+            if done_counts[member] != item:
+                raise RuntimeError(
+                    f"{self.inst.name}: task {member} completed item {item}, "
+                    f"expected {done_counts[member]}"
+                )
+            done_counts[member] = next_count
+        if next_count == self.batch:
+            self._unfinished_tasks -= len(members)
+            left = self._bundle_members_left
+            if left is not None:
+                bundle_index = members[0] // BUNDLE_SIZE
+                left[bundle_index] -= len(members)
+                if left[bundle_index] == 0:
+                    self._unfinished_bundles -= 1
+        item_events = self._item_events
+        if item_events:
+            for member in members:
+                task_events = item_events.get(member)
+                if task_events:
+                    event = task_events.pop(item, None)
+                    if event is not None and not event.triggered:
+                        event.succeed()
 
     # ------------------------------------------------------------------
     # Progress queries used by the allocation/scheduling policies
@@ -104,21 +190,15 @@ class AppRun:
 
     @property
     def all_done(self) -> bool:
-        return all(count >= self.batch for count in self.done_counts)
+        return self._unfinished_tasks == 0
 
     def unfinished_task_count(self) -> int:
         """N_TAi: tasks that still have unfinished items."""
-        return sum(1 for count in self.done_counts if count < self.batch)
+        return self._unfinished_tasks
 
     def unfinished_bundle_count(self) -> int:
         """Bundles with at least one unfinished member task."""
-        if not self.spec.can_bundle:
-            return 0
-        return sum(
-            1
-            for bundle in self.spec.bundles
-            if any(not self.task_complete(i) for i in bundle.task_indices)
-        )
+        return self._unfinished_bundles
 
     def next_little_payloads(self) -> List[TaskSpec]:
         """Tasks eligible for loading into Little slots, pipeline order.
@@ -133,21 +213,23 @@ class AppRun:
         the app fills its allocation with downstream stages that starve on
         the missing upstream (a livelock observed under Real-time load).
         """
-        preempt_floor = min(
-            (
-                run.task.index
-                for run in self.loaded.values()
-                if isinstance(run, TaskRun) and run.preempt_requested
-            ),
-            default=None,
-        )
+        preempt_floor = None
+        for run in self.loaded.values():
+            if isinstance(run, TaskRun) and run.preempt_requested:
+                index = run.task.index
+                if preempt_floor is None or index < preempt_floor:
+                    preempt_floor = index
         eligible = []
+        batch = self.batch
+        done_counts = self.done_counts
+        loaded = self.loaded
+        pending_pr = self.pending_pr
         for task in self.spec.tasks:
             if preempt_floor is not None and task.index > preempt_floor:
                 break
-            if self.task_complete(task.index):
+            if done_counts[task.index] >= batch:
                 continue
-            if task.name in self.loaded or task.name in self.pending_pr:
+            if task.name in loaded or task.name in pending_pr:
                 continue
             eligible.append(task)
         return eligible
@@ -155,10 +237,13 @@ class AppRun:
     def next_big_payloads(self) -> List[BundleSpec]:
         """Bundles eligible for loading into Big slots, pipeline order."""
         eligible = []
-        for bundle in self.spec.bundles:
-            if all(self.task_complete(i) for i in bundle.task_indices):
+        left = self._bundle_members_left
+        loaded = self.loaded
+        pending_pr = self.pending_pr
+        for bundle_index, bundle in enumerate(self.spec.bundles):
+            if left is not None and left[bundle_index] == 0:
                 continue
-            if bundle.name in self.loaded or bundle.name in self.pending_pr:
+            if bundle.name in loaded or bundle.name in pending_pr:
                 continue
             eligible.append(bundle)
         return eligible
@@ -177,6 +262,9 @@ class AppRun:
 
 class TaskRun:
     """A task loaded in a Little slot, executing its batch item by item."""
+
+    __slots__ = ("scheduler", "app_run", "task", "slot", "preempt_requested",
+                 "items_this_load", "_waiting_dependency", "process")
 
     def __init__(self, scheduler: "OnBoardScheduler", app_run: AppRun, task: TaskSpec, slot: Slot) -> None:
         self.scheduler = scheduler
@@ -206,22 +294,36 @@ class TaskRun:
 
     def _run(self) -> Generator:
         app = self.app_run
-        engine = self.scheduler.engine
+        scheduler = self.scheduler
+        engine = scheduler.engine
         k = self.task.index
-        while app.done_counts[k] < app.batch:
+        batch = app.batch
+        done_counts = app.done_counts
+        # Loop invariants hoisted out of the per-item path: the item time
+        # (execution plus the per-item AXI/DDR hop into this slot), the
+        # pipelining granularity, and the dependency base.
+        item_ms = self.task.exec_time_ms + scheduler.params.inter_slot_transfer_ms
+        chunk = scheduler.pipeline_chunk_items if scheduler.item_pipelining else None
+        last_item = batch - 1
+        core = scheduler._core
+        acquire = core.acquire
+        release = core.release
+        stats = scheduler.stats
+        pr_items = scheduler.pr_queue._items
+        launch_overhead = scheduler._launch_overhead_ms
+        while done_counts[k] < batch:
             if self.preempt_requested:
                 break
-            item = app.done_counts[k]
+            item = done_counts[k]
             # Cross-slot dependency: item-level pipeline for pipeline-aware
             # systems; naive ones stream coarser chunks (or whole batches),
             # so their slots idle while upstream stages drain — the
             # under-utilization the paper attributes to uniform sharing.
-            if not self.scheduler.item_pipelining:
-                upstream_item = app.batch - 1
+            if chunk is None:
+                upstream_item = last_item
             else:
-                chunk = self.scheduler.pipeline_chunk_items
-                upstream_item = min(app.batch - 1, (item // chunk + 1) * chunk - 1)
-            if k > 0 and not app.item_done(k - 1, upstream_item):
+                upstream_item = min(last_item, (item // chunk + 1) * chunk - 1)
+            if k > 0 and done_counts[k - 1] <= upstream_item:
                 self._waiting_dependency = True
                 try:
                     yield app.item_event(k - 1, upstream_item)
@@ -230,10 +332,28 @@ class TaskRun:
                 finally:
                     self._waiting_dependency = False
                 continue  # re-check preemption after a potentially long wait
-            yield from self.scheduler.launch_gate(app)
-            # Execution plus the per-item AXI/DDR hop into this slot.
-            hop = self.scheduler.params.inter_slot_transfer_ms
-            yield engine.timeout(self.task.exec_time_ms + hop)
+            # Inlined launch gate (keep in sync with
+            # OnBoardScheduler.launch_gate — the canonical, documented
+            # form): every item launch needs the scheduler core.
+            started = engine.now
+            busy_app = scheduler._inflight_app
+            pr_busy = busy_app is not None and busy_app is not app
+            if not pr_busy and pr_items:
+                pr_busy = any(q.app_run is not app for q in pr_items)
+            yield acquire()
+            wait = engine.now - started
+            stats.launches += 1
+            stats.launch_wait_ms += wait
+            if wait > BLOCK_EPSILON_MS and pr_busy:
+                stats.launch_blocked += 1
+                stats.window_blocked += 1
+            try:
+                yield launch_overhead
+            finally:
+                release()
+            # ``sleep`` recycles the timeout object: the batch loop runs
+            # allocation-free in steady state.
+            yield item_ms
             app.mark_item_done(k, item)
             self.items_this_load += 1
         self.scheduler.on_run_finished(self, preempted=self.preempt_requested)
@@ -253,6 +373,9 @@ class BundleRun:
       item leaves the bundle (downstream only consumes the last member).
     * **Serial** — members run one full batch after another.
     """
+
+    __slots__ = ("scheduler", "app_run", "bundle", "slot", "serial",
+                 "preempt_requested", "process")
 
     def __init__(
         self,
@@ -285,46 +408,98 @@ class BundleRun:
 
     def _run_parallel(self) -> Generator:
         app = self.app_run
-        engine = self.scheduler.engine
+        scheduler = self.scheduler
+        engine = scheduler.engine
         times = app.spec.bundle_exec_times(self.bundle)
         # Internal stages stream on-chip: the steady-state rate is set by
         # the slowest member alone; the boundary DDR hop is paid once, in
         # the fill, and thereafter overlaps the slowest member.
-        hop = self.scheduler.params.inter_slot_transfer_ms
+        hop = scheduler.params.inter_slot_transfer_ms
         fill = sum(times) + hop
         t_max = max(times)
-        first = self.bundle.task_indices[0]
-        start_item = app.done_counts[first]
+        members = self.bundle.task_indices
+        first = members[0]
+        done_counts = app.done_counts
+        mark_bundle_item_done = app.mark_bundle_item_done
+        core = scheduler._core
+        acquire = core.acquire
+        release = core.release
+        stats = scheduler.stats
+        pr_items = scheduler.pr_queue._items
+        launch_overhead = scheduler._launch_overhead_ms
+        start_item = done_counts[first]
         for item in range(start_item, app.batch):
-            waiting = self._upstream_ready(item)
-            if waiting is not None:
-                yield waiting
-            yield from self.scheduler.launch_gate(app)
-            yield engine.timeout(fill if item == start_item else t_max)
-            for member in self.bundle.task_indices:
-                app.mark_item_done(member, item)
-        self.scheduler.on_run_finished(self, preempted=False)
+            # Dependency of the bundle's first member on the previous
+            # bundle (_upstream_ready, inlined for the per-item path).
+            if first > 0 and done_counts[first - 1] <= item:
+                yield app.item_event(first - 1, item)
+            # Inlined launch gate (keep in sync with
+            # OnBoardScheduler.launch_gate, the canonical form).
+            started = engine.now
+            busy_app = scheduler._inflight_app
+            pr_busy = busy_app is not None and busy_app is not app
+            if not pr_busy and pr_items:
+                pr_busy = any(q.app_run is not app for q in pr_items)
+            yield acquire()
+            wait = engine.now - started
+            stats.launches += 1
+            stats.launch_wait_ms += wait
+            if wait > BLOCK_EPSILON_MS and pr_busy:
+                stats.launch_blocked += 1
+                stats.window_blocked += 1
+            try:
+                yield launch_overhead
+            finally:
+                release()
+            yield fill if item == start_item else t_max
+            mark_bundle_item_done(members, item)
+        scheduler.on_run_finished(self, preempted=False)
         return app.batch - start_item
 
     def _run_serial(self) -> Generator:
         app = self.app_run
-        engine = self.scheduler.engine
+        scheduler = self.scheduler
+        engine = scheduler.engine
+        core = scheduler._core
+        acquire = core.acquire
+        release = core.release
+        stats = scheduler.stats
+        pr_items = scheduler.pr_queue._items
+        launch_overhead = scheduler._launch_overhead_ms
         completed = 0
         # Serial mode buffers whole batches between members, so each
         # member's items pay the DDR hop like separate slots would.
-        hop = self.scheduler.params.inter_slot_transfer_ms
+        hop = scheduler.params.inter_slot_transfer_ms
+        first = self.bundle.task_indices[0]
         for member in self.bundle.task_indices:
             exec_ms = app.spec.tasks[member].exec_time_ms + hop
             for item in range(app.done_counts[member], app.batch):
-                if member == self.bundle.task_indices[0]:
+                if member == first:
                     waiting = self._upstream_ready(item)
                     if waiting is not None:
                         yield waiting
-                yield from self.scheduler.launch_gate(app)
-                yield engine.timeout(exec_ms)
+                # Inlined launch gate (keep in sync with
+                # OnBoardScheduler.launch_gate, the canonical form).
+                started = engine.now
+                busy_app = scheduler._inflight_app
+                pr_busy = busy_app is not None and busy_app is not app
+                if not pr_busy and pr_items:
+                    pr_busy = any(q.app_run is not app for q in pr_items)
+                yield acquire()
+                wait = engine.now - started
+                stats.launches += 1
+                stats.launch_wait_ms += wait
+                if wait > BLOCK_EPSILON_MS and pr_busy:
+                    stats.launch_blocked += 1
+                    stats.window_blocked += 1
+                try:
+                    yield launch_overhead
+                finally:
+                    release()
+                yield exec_ms
                 app.mark_item_done(member, item)
                 completed += 1
-        self.scheduler.on_run_finished(self, preempted=False)
+        scheduler.on_run_finished(self, preempted=False)
         return completed
 
 

@@ -12,10 +12,11 @@ VersaSlot PR server consumes reconfiguration requests from one.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional
 
 from .engine import Engine
-from .events import Event
+from .events import Event, PENDING
 
 
 class Request(Event):
@@ -24,12 +25,26 @@ class Request(Event):
     The request fires when the unit is granted.  A waiter that gives up
     (e.g. a preempted process) must call :meth:`cancel` so the unit is not
     granted to a dead request.
+
+    ``wait_started`` records the enqueue time directly on the request —
+    keying a side table by ``id(request)`` would cross-wire wait-time
+    accounting when the interpreter reuses object ids after GC.
     """
 
+    __slots__ = ("resource", "cancelled", "wait_started")
+
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.engine)
+        engine = resource.engine
+        # Flattened Event.__init__: requests are created per batch-item
+        # launch, squarely on the hot path.
+        self.engine = engine
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._fast_process = None
         self.resource = resource
         self.cancelled = False
+        self.wait_started = engine.now
 
     def cancel(self) -> None:
         """Withdraw the request; releases the unit if already granted."""
@@ -55,6 +70,9 @@ class Resource:
             resource.release()
     """
 
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_waiting",
+                 "_busy_time", "_last_change", "total_grants", "total_wait_time")
+
     def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -68,7 +86,6 @@ class Resource:
         self._last_change = engine.now
         self.total_grants = 0
         self.total_wait_time = 0.0
-        self._request_times: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -88,22 +105,46 @@ class Resource:
 
     def acquire(self) -> Request:
         """Request one unit; the returned event fires when granted."""
-        request = Request(self)
-        self._request_times[id(request)] = self.engine.now
+        # Inlined Request.__init__ (kept in sync): one call frame instead
+        # of two on the per-item launch path.
+        engine = self.engine
+        request = Request.__new__(Request)
+        request.engine = engine
+        request.callbacks = []
+        request._value = PENDING
+        request._ok = True
+        request._fast_process = None
+        request.resource = self
+        request.cancelled = False
+        request.wait_started = engine.now
         if self._in_use < self.capacity:
-            self._grant(request)
+            # Inlined _grant + Event.succeed for the uncontended case (the
+            # per-item launch path): zero queue wait, trigger in place.
+            now = engine.now
+            self._busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
+            self._in_use += 1
+            self.total_grants += 1
+            request._value = self
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap, (now, 1, seq, request))  # 1 == NORMAL
         else:
             self._waiting.append(request)
         return request
 
     def release(self) -> None:
         """Return one unit and grant the oldest live waiter, if any."""
-        if self._in_use <= 0:
+        in_use = self._in_use
+        if in_use <= 0:
             raise RuntimeError(f"release() on idle resource {self.name!r}")
-        self._account()
-        self._in_use -= 1
-        while self._waiting:
-            request = self._waiting.popleft()
+        # Inlined _account(): release/grant pairs run per batch-item launch.
+        now = self.engine.now
+        self._busy_time += in_use * (now - self._last_change)
+        self._last_change = now
+        self._in_use = in_use - 1
+        waiting = self._waiting
+        while waiting:
+            request = waiting.popleft()
             if not request.cancelled:
                 self._grant(request)
                 break
@@ -121,11 +162,12 @@ class Resource:
 
     # ------------------------------------------------------------------
     def _grant(self, request: Request) -> None:
-        self._account()
+        now = self.engine.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
         self._in_use += 1
         self.total_grants += 1
-        started = self._request_times.pop(id(request), self.engine.now)
-        self.total_wait_time += self.engine.now - started
+        self.total_wait_time += now - request.wait_started
         request.succeed(self)
 
     def _abandon(self, request: Request) -> None:
@@ -133,7 +175,6 @@ class Resource:
             self._waiting.remove(request)
         except ValueError:
             pass
-        self._request_times.pop(id(request), None)
 
     def _account(self) -> None:
         now = self.engine.now
@@ -143,6 +184,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO of items with blocking ``get``."""
+
+    __slots__ = ("engine", "name", "_items", "_getters", "total_puts")
 
     def __init__(self, engine: Engine, name: str = "") -> None:
         self.engine = engine

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry."""
 
@@ -23,7 +23,7 @@ class TraceRecord:
         return self.payload[key]
 
 
-@dataclass
+@dataclass(slots=True)
 class Tracer:
     """Collects :class:`TraceRecord` entries when enabled."""
 

@@ -175,7 +175,7 @@ def drive(engine: Engine, target, arrivals: Sequence[Arrival]) -> "GeneratorType
     now = engine.now
     for arrival in arrivals:
         if arrival.time_ms > now:
-            yield engine.timeout(arrival.time_ms - now)
+            yield arrival.time_ms - now
             now = arrival.time_ms
         target.submit(instantiate(arrival, engine.now))
 
