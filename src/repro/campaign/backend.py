@@ -16,16 +16,21 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..apps.application import reset_instance_ids
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..fpga.board import FPGABoard
 from ..schedulers.base import SchedulerStats
-from ..sim import Engine
+from ..sim import Engine, Tracer
 from ..workloads.generator import Arrival, WorkloadSpec, drive
 from .results import COUNTER_FIELDS, RunRecord, fingerprint_parameters
 from .scenario import get_system
+
+#: Callback invoked with ``(engine, board, scheduler)`` right after the
+#: simulation is assembled and before the workload starts driving it;
+#: the verify layer uses these to attach tracers and invariant monitors.
+Instrument = Callable[[Engine, FPGABoard, object], None]
 
 #: Safety horizon: every sequence must drain well before this (ms).
 DEFAULT_HORIZON_MS = 500_000_000.0
@@ -91,14 +96,30 @@ def simulate_run(
     arrivals: Sequence[Arrival],
     params: Optional[SystemParameters] = None,
     horizon_ms: float = DEFAULT_HORIZON_MS,
+    engine_factory: Optional[Callable[[], Engine]] = None,
+    tracer: Optional[Tracer] = None,
+    instruments: Iterable[Instrument] = (),
 ) -> SimulationOutcome:
-    """Simulate ``system`` serving ``arrivals`` on a fresh board."""
+    """Simulate ``system`` serving ``arrivals`` on a fresh board.
+
+    ``engine_factory`` swaps the simulation kernel (the verify layer runs
+    the same cell on the optimized and the reference kernel); ``tracer``
+    and ``instruments`` attach observability before the workload starts.
+    """
     spec = get_system(system)
     resolved = params if params is not None else DEFAULT_PARAMETERS
     reset_instance_ids()
-    engine = Engine()
+    engine = engine_factory() if engine_factory is not None else Engine()
     board = FPGABoard(engine, spec.board_config, resolved, name="eval")
-    scheduler = spec.factory(board, resolved)
+    if tracer is not None:
+        # Keyword, not positional: OnBoardScheduler subclasses registered
+        # without their own __init__ take dual_core third — a positional
+        # tracer would silently flip that.
+        scheduler = spec.factory(board, resolved, tracer=tracer)
+    else:
+        scheduler = spec.factory(board, resolved)
+    for instrument in instruments:
+        instrument(engine, board, scheduler)
     engine.process(drive(engine, scheduler, arrivals))
     engine.run(until=horizon_ms)
     stats: SchedulerStats = scheduler.stats
@@ -134,6 +155,17 @@ class CampaignCell:
     workload: Optional[WorkloadSpec] = None
     arrivals: Optional[Tuple[Arrival, ...]] = None
     horizon_ms: float = DEFAULT_HORIZON_MS
+    #: Simulation kernel to run on ("optimized" or "reference"); the
+    #: verify layer runs the same cell on both and diffs the outcomes.
+    kernel: str = "optimized"
+
+    def engine_factory(self) -> Optional[Callable[[], Engine]]:
+        """Engine factory for this cell's kernel (None = default kernel)."""
+        if self.kernel == "optimized":
+            return None
+        from ..verify.reference import resolve_kernel  # lazy: avoids a cycle
+
+        return resolve_kernel(self.kernel)
 
     def resolve_arrivals(self) -> List[Arrival]:
         if self.arrivals is not None:
@@ -155,7 +187,11 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
     """
     arrivals = cell.resolve_arrivals()
     outcome = simulate_run(
-        cell.system, arrivals, cell.params, horizon_ms=cell.horizon_ms
+        cell.system,
+        arrivals,
+        cell.params,
+        horizon_ms=cell.horizon_ms,
+        engine_factory=cell.engine_factory(),
     )
     stats = outcome.stats
     condition = cell.workload.condition.label if cell.workload else "explicit"

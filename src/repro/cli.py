@@ -11,7 +11,9 @@ parallel backend, and replays persisted results:
     python -m repro fig8 --apps 80 --seed 2 --jobs 2
     python -m repro campaign list
     python -m repro campaign run fig5-standard --jobs 4
+    python -m repro campaign replay results/repros/repro-smoke-3.json
     python -m repro replay results/fig5.jsonl --figure fig5
+    python -m repro verify --fuzz 50 --seed 0
     python -m repro bench --quick --baseline BENCH_kernel.json
     python -m repro list
 """
@@ -42,6 +44,8 @@ from .experiments import (
 from .experiments.runner import SYSTEMS
 from .metrics.plots import bar_chart, trace_plot
 from .metrics.report import summarize_records
+from .verify.cli import add_verify_arguments, run_verify_command
+from .verify.fuzz import parse_repro_payload, replay_case, sniff_repro_file
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None,
                      help="replace the scenario's seed set with one seed")
     add_parallel_options(run)
+    campaign_replay = campaign_sub.add_parser(
+        "replay",
+        help="replay persisted results or a fuzzer repro file",
+    )
+    campaign_replay.add_argument(
+        "path", help="JSONL records file, or a verify-repro JSON file"
+    )
+    campaign_replay.add_argument(
+        "--figure", choices=("summary", "fig5", "fig6"), default="summary",
+        help="rendering for records files (ignored for repro files)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential oracle: run scenarios on the reference and the "
+             "optimized kernel and demand bit-identical outcomes",
+    )
+    add_verify_arguments(verify)
 
     bench = sub.add_parser(
         "bench",
@@ -125,6 +147,8 @@ def _operator_error(exc: Exception) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "replay":
+        return _cmd_replay(args)
     if args.campaign_command == "list":
         for name in scenario_names():
             scenario = get_scenario(name)
@@ -156,9 +180,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    # Replay never simulates, so every failure here is an input problem
-    # (missing/malformed file, records that don't form the figure).
+    # A fuzzer-found repro replays as a fresh oracle comparison — the
+    # one-command reproduction of a persisted kernel divergence.  All
+    # other inputs are RunRecord files and replay without simulating, so
+    # their failures are input problems (missing/malformed file, records
+    # that don't form the figure).
     try:
+        repro_payload = sniff_repro_file(args.path)
+        if repro_payload is not None:
+            case, _ = parse_repro_payload(repro_payload, source=args.path)
+            report = replay_case(case)
+            print(report.summary())
+            return 0 if report.ok else 1
         records = load_records(args.path)
         if not records:
             print(f"no records in {args.path}")
@@ -186,6 +219,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "verify":
+        return run_verify_command(args)
     if args.command == "bench":
         return run_bench_command(args)
     if args.command == "replay":

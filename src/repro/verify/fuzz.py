@@ -1,0 +1,369 @@
+"""Property-based scenario fuzzing for the differential oracle.
+
+The fuzzer samples random (system × workload × parameters) cells through
+the campaign registry — every registered scenario is a template whose
+workload shape, seeds and parameter overrides get perturbed — and drives
+each sampled :class:`FuzzCase` through the oracle.  Sampling is fully
+deterministic: case ``i`` of root seed ``s`` is always the same case, and
+each case owns an independent RNG stream so shrinking one case never
+shifts its neighbours.
+
+A failing case is **shrunk** (greedy: fewer applications, flatter batch
+range, dropped overrides, calmer congestion — every candidate re-checked
+against the oracle) and **persisted** as a JSON repro file that
+``python -m repro campaign replay <file>`` turns back into the exact
+failing comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..apps.benchmarks import BENCHMARKS
+from ..campaign.scenario import SCENARIOS, SYSTEM_REGISTRY, Scenario, system_names
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..workloads.generator import Arrival, Condition, WorkloadSpec
+
+#: Marker distinguishing repro files from RunRecord JSONL results.
+REPRO_KIND = "verify-repro"
+
+#: Bumped whenever the repro file shape changes incompatibly.
+REPRO_SCHEMA = 1
+
+#: Parameter overrides the fuzzer may inject, with the values it samples
+#: from.  Deliberately conservative: every combination must still drain
+#: (the oracle treats a divergent *failure* as a finding, but a scenario
+#: that hangs on both kernels is a workload bug, not a kernel bug).
+SAFE_OVERRIDES: Dict[str, Tuple[float, ...]] = {
+    "inter_slot_transfer_ms": (5.0, 10.0, 25.0),
+    "pcap_bandwidth_mbps": (100.0, 200.0),
+    "launch_overhead_ms": (0.02, 0.1),
+    "scheduler_action_ms": (0.01, 0.05),
+    "little_bitstream_mb": (10.0, 20.0),
+    "pr_failure_rate": (0.02,),
+    "only_little_slots": (4, 6),
+    "big_little_little_slots": (2, 4),
+}
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One oracle-checkable cell: a system, a seeded workload, parameters."""
+
+    case_id: int
+    system: str
+    condition: str
+    n_apps: int
+    batch_lo: int
+    batch_hi: int
+    seed: int
+    sequence_index: int = 0
+    apps: Tuple[str, ...] = ()
+    overrides: Tuple[Tuple[str, float], ...] = ()
+    #: The registered scenario this case was derived from (label only).
+    scenario: str = "fuzz"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(
+            self, "overrides", tuple(tuple(pair) for pair in self.overrides)
+        )
+
+    # ------------------------------------------------------------------
+    def workload(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            condition=Condition[self.condition],
+            n_apps=self.n_apps,
+            sequence_count=self.sequence_index + 1,
+            batch_range=(self.batch_lo, self.batch_hi),
+            apps=self.apps,
+        )
+
+    def arrivals(self) -> List[Arrival]:
+        return self.workload().sequence(self.seed, self.sequence_index)
+
+    def params(self) -> SystemParameters:
+        if not self.overrides:
+            return DEFAULT_PARAMETERS
+        return DEFAULT_PARAMETERS.with_overrides(**dict(self.overrides))
+
+    def describe(self) -> str:
+        parts = [
+            f"case {self.case_id}",
+            self.system,
+            f"{self.condition.lower()}",
+            f"{self.n_apps} apps",
+            f"batch [{self.batch_lo}, {self.batch_hi}]",
+            f"seed {self.seed}/{self.sequence_index}",
+        ]
+        if self.overrides:
+            parts.append(
+                "overrides "
+                + ",".join(f"{name}={value}" for name, value in self.overrides)
+            )
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["apps"] = list(self.apps)
+        payload["overrides"] = [list(pair) for pair in self.overrides]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzCase":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - fields)
+        if unknown:
+            raise ValueError(f"unknown fuzz-case fields: {', '.join(unknown)}")
+        missing = sorted(
+            {
+                f.name
+                for f in dataclasses.fields(cls)
+                if f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING  # type: ignore[misc]
+            }
+            - set(payload)
+        )
+        if missing:
+            raise ValueError(f"fuzz case is missing fields: {', '.join(missing)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+def cases_from_scenario(scenario: Scenario) -> List[FuzzCase]:
+    """The exhaustive oracle cells of one registered scenario.
+
+    Enumeration order mirrors ``CampaignRunner.cells_for`` (seed-major,
+    then sequence, then system) so ``repro verify --scenario X`` visits
+    cells in the same order ``repro campaign run X`` simulates them.
+    """
+    workload = scenario.workload
+    lo, hi = workload.batch_range
+    cases: List[FuzzCase] = []
+    for seed in scenario.seeds:
+        for index in range(workload.sequence_count):
+            for system in scenario.system_names():
+                cases.append(
+                    FuzzCase(
+                        case_id=len(cases),
+                        system=system,
+                        condition=workload.condition.name,
+                        n_apps=workload.n_apps,
+                        batch_lo=lo,
+                        batch_hi=hi,
+                        seed=seed,
+                        sequence_index=index,
+                        apps=workload.apps,
+                        overrides=scenario.overrides,
+                        scenario=scenario.name,
+                    )
+                )
+    return cases
+
+
+class ScenarioFuzzer:
+    """Deterministic sampler of :class:`FuzzCase` s over the registry."""
+
+    def __init__(
+        self,
+        seed: int,
+        scenario: Optional[str] = None,
+        systems: Optional[Sequence[str]] = None,
+        max_apps: int = 6,
+        max_batch: int = 12,
+    ) -> None:
+        if scenario is not None and scenario not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {scenario!r}; available: {', '.join(SCENARIOS)}"
+            )
+        unknown = [name for name in (systems or ()) if name not in SYSTEM_REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown system(s) {', '.join(unknown)}; "
+                f"available: {', '.join(SYSTEM_REGISTRY)}"
+            )
+        self.seed = seed
+        self.scenario = scenario
+        self.systems = tuple(systems) if systems else ()
+        self.max_apps = max_apps
+        self.max_batch = max_batch
+
+    def case(self, index: int) -> FuzzCase:
+        """Sample case ``index`` (independent of every other index)."""
+        rng = random.Random(f"verify-fuzz/{self.seed}/{index}")
+        name = self.scenario or rng.choice(list(SCENARIOS))
+        template = SCENARIOS[name]
+        pool = self.systems or template.system_names() or tuple(system_names())
+        system = rng.choice(list(pool))
+        # Mostly keep the template's congestion regime; sometimes roam.
+        if rng.random() < 0.25:
+            condition = rng.choice(list(Condition)).name
+        else:
+            condition = template.workload.condition.name
+        n_apps = rng.randint(1, min(self.max_apps, template.workload.n_apps))
+        batch_lo = rng.randint(1, 4)
+        batch_hi = batch_lo + rng.randint(0, self.max_batch - batch_lo)
+        overrides = dict(template.overrides)
+        for _ in range(rng.randint(0, 2)):
+            key = rng.choice(sorted(SAFE_OVERRIDES))
+            overrides[key] = rng.choice(SAFE_OVERRIDES[key])
+        apps: Tuple[str, ...] = ()
+        if rng.random() < 0.2:
+            count = rng.randint(1, len(BENCHMARKS))
+            apps = tuple(sorted(rng.sample(sorted(BENCHMARKS), count)))
+        return FuzzCase(
+            case_id=index,
+            system=system,
+            condition=condition,
+            n_apps=n_apps,
+            batch_lo=batch_lo,
+            batch_hi=batch_hi,
+            seed=rng.randrange(10_000),
+            sequence_index=rng.randrange(2),
+            apps=apps,
+            overrides=tuple(sorted(overrides.items())),
+            scenario=name,
+        )
+
+    def cases(self, count: int) -> Iterator[FuzzCase]:
+        for index in range(count):
+            yield self.case(index)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Strictly simpler variants of ``case``, most aggressive first."""
+    for n_apps in sorted({1, case.n_apps // 2, case.n_apps - 1}):
+        if 1 <= n_apps < case.n_apps:
+            yield dataclasses.replace(case, n_apps=n_apps)
+    for batch_hi in sorted({case.batch_lo, (case.batch_lo + case.batch_hi) // 2}):
+        if case.batch_lo <= batch_hi < case.batch_hi:
+            yield dataclasses.replace(case, batch_hi=batch_hi)
+    if case.sequence_index:
+        yield dataclasses.replace(case, sequence_index=0)
+    for index in range(len(case.overrides)):
+        remaining = case.overrides[:index] + case.overrides[index + 1:]
+        yield dataclasses.replace(case, overrides=remaining)
+    if case.condition != Condition.LOOSE.name:
+        yield dataclasses.replace(case, condition=Condition.LOOSE.name)
+    if case.apps:
+        yield dataclasses.replace(case, apps=())
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    budget: int = 48,
+) -> Tuple[FuzzCase, int]:
+    """Greedy shrink: keep the first simpler variant that still fails.
+
+    ``still_fails`` re-runs the oracle on a candidate; ``budget`` bounds
+    the total number of those runs.  Returns the shrunk case and the
+    number of oracle runs spent.
+    """
+    attempts = 0
+    current = case
+    progress = True
+    while progress and attempts < budget:
+        progress = False
+        for candidate in _shrink_candidates(current):
+            if attempts >= budget:
+                break
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current, attempts
+
+
+# ---------------------------------------------------------------------------
+# Repro files
+# ---------------------------------------------------------------------------
+
+
+def save_repro(path: Union[str, Path], case: FuzzCase, report) -> Path:
+    """Persist a failing case (plus its divergence) as a replayable repro."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": REPRO_KIND,
+        "schema": REPRO_SCHEMA,
+        "case": case.to_dict(),
+        "divergence": report.to_dict() if report is not None else None,
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def is_repro_payload(payload: object) -> bool:
+    """True when a parsed JSON document is a verify repro file."""
+    return isinstance(payload, dict) and payload.get("kind") == REPRO_KIND
+
+
+def sniff_repro_file(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """The parsed repro payload when ``path`` is one, else None.
+
+    Cheap first: only a bounded prefix is read to rule out results JSONL
+    files (whose first line is one complete record, never a bare ``{``,
+    and which never contain the ``kind`` marker).  Only a plausible repro
+    is then parsed in full; the marker separates repros from any other
+    single-document JSON.
+    """
+    target = Path(path)
+    with target.open("r", encoding="utf-8") as handle:
+        prefix = handle.read(4096)
+    if not prefix.lstrip().startswith("{"):
+        return None
+    first_line = prefix.splitlines()[0].strip()
+    if first_line != "{" and f'"kind": "{REPRO_KIND}"' not in prefix:
+        return None
+    try:
+        payload = json.loads(target.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return payload if is_repro_payload(payload) else None
+
+
+def parse_repro_payload(
+    payload: Dict[str, object], source: str = "<payload>"
+) -> Tuple[FuzzCase, Optional[Dict[str, object]]]:
+    """Validate an already-parsed repro document into (case, divergence)."""
+    if not is_repro_payload(payload):
+        raise ValueError(f"{source}: not a {REPRO_KIND} file")
+    schema = payload.get("schema", REPRO_SCHEMA)
+    if schema != REPRO_SCHEMA:
+        raise ValueError(
+            f"{source}: repro schema {schema} not supported "
+            f"(expected {REPRO_SCHEMA})"
+        )
+    case = FuzzCase.from_dict(payload["case"])
+    return case, payload.get("divergence")
+
+
+def load_repro(path: Union[str, Path]) -> Tuple[FuzzCase, Optional[Dict[str, object]]]:
+    """Load a repro file back into its case and recorded divergence."""
+    return parse_repro_payload(json.loads(Path(path).read_text()), source=str(path))
+
+
+def replay_case(case: FuzzCase, oracle=None):
+    """Run one case through the oracle; returns the fresh report."""
+    from .oracle import DifferentialOracle  # lazy: fuzz is imported by oracle users
+
+    oracle = oracle if oracle is not None else DifferentialOracle()
+    return oracle.check(case.system, case.arrivals(), case.params())
+
+
+def replay_repro(path: Union[str, Path], oracle=None):
+    """Re-run the oracle on a persisted repro; returns the fresh report."""
+    case, _ = load_repro(path)
+    return replay_case(case, oracle)

@@ -1,0 +1,336 @@
+"""The differential oracle: one scenario, two kernels, zero divergence.
+
+:func:`instrumented_run` executes a (system, arrivals, parameters) cell on
+a chosen kernel with full observability attached — structured tracing, the
+time-weighted utilization tracker, and the invariant monitor — and
+condenses the run into a :class:`KernelFingerprint`.  The fingerprint
+captures everything model code can observe: the canonical trace, response
+records with finish times, scheduler counters, PCAP statistics and the
+utilization aggregates.
+
+:class:`DifferentialOracle` runs the same cell on the reference and the
+optimized kernel and diffs the fingerprints field by field.  Floats are
+compared *exactly*: the kernels are required to be bit-identical, not just
+statistically close — any reordering of same-time events shows up as a
+trace divergence long before it shifts an aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.backend import DEFAULT_HORIZON_MS, DrainError, simulate_run
+from ..campaign.results import COUNTER_FIELDS
+from ..config import SystemParameters
+from ..metrics.utilization import UtilizationTracker
+from ..sim import Engine, Tracer
+from ..workloads.generator import Arrival
+from .invariants import InvariantMonitor
+from .reference import ReferenceEngine, resolve_kernel
+
+
+def trace_lines(tracer: Tracer) -> List[str]:
+    """Canonical one-line-per-record rendering of a trace.
+
+    Matches the format the PR-2 goldens pinned (time to 9 decimals,
+    category, payload JSON with sorted keys) so fingerprints and goldens
+    stay directly comparable.
+    """
+    return [
+        f"{record.time:.9f}|{record.category}|"
+        f"{json.dumps(record.payload, sort_keys=True, default=str)}"
+        for record in tracer.records
+    ]
+
+
+@dataclass
+class KernelFingerprint:
+    """Everything observable about one instrumented simulation run."""
+
+    kernel: str
+    system: str
+    drained: bool
+    error: Optional[str]
+    completions: int
+    makespan_ms: float
+    counters: Dict[str, float]
+    response_times_ms: List[float]
+    finish_times_ms: List[float]
+    trace_len: int
+    trace_sha256: str
+    occupied_utilization: Tuple[float, float]
+    fabric_utilization: Tuple[float, float]
+    pcap_loads: int
+    pcap_retries: int
+    violations: List[str] = field(default_factory=list)
+    #: Full canonical trace, kept for diff context (compared via the sha).
+    trace: List[str] = field(default_factory=list, repr=False)
+
+    #: Fields diffed between kernels ("trace" is covered by its digest,
+    #: "violations" are reported per-kernel rather than diffed).
+    COMPARED = (
+        "drained",
+        "error",
+        "completions",
+        "makespan_ms",
+        "counters",
+        "response_times_ms",
+        "finish_times_ms",
+        "trace_len",
+        "trace_sha256",
+        "occupied_utilization",
+        "fabric_utilization",
+        "pcap_loads",
+        "pcap_retries",
+    )
+
+    def comparable(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self.COMPARED}
+
+
+def instrumented_run(
+    system: str,
+    arrivals: Sequence[Arrival],
+    params: Optional[SystemParameters] = None,
+    kernel: str = "optimized",
+    engine_factory: Optional[Callable[[], Engine]] = None,
+    horizon_ms: float = DEFAULT_HORIZON_MS,
+) -> KernelFingerprint:
+    """Run one cell on ``kernel`` with full observability attached.
+
+    ``engine_factory`` overrides the registry lookup (tests inject
+    deliberately broken kernels this way); ``kernel`` then only labels the
+    fingerprint.  Simulation failures — drain timeouts, model crashes —
+    are captured into the fingerprint instead of raised, so the oracle can
+    compare *how* both kernels failed.
+    """
+    factory = engine_factory if engine_factory is not None else resolve_kernel(kernel)
+    tracer = Tracer()
+    refs: Dict[str, object] = {}
+
+    def capture(engine, board, scheduler) -> None:
+        refs["engine"] = engine
+        refs["board"] = board
+        refs["scheduler"] = scheduler
+        refs["tracker"] = UtilizationTracker(board)
+        refs["monitor"] = InvariantMonitor(
+            engine, board, scheduler, tracker=refs["tracker"]
+        )
+
+    error: Optional[str] = None
+    drained = True
+    makespan = 0.0
+    try:
+        outcome = simulate_run(
+            system,
+            arrivals,
+            params,
+            horizon_ms=horizon_ms,
+            engine_factory=factory,
+            tracer=tracer,
+            instruments=(capture,),
+        )
+        makespan = outcome.makespan_ms
+    except DrainError as exc:
+        drained = False
+        error = (
+            f"DrainError: {exc.completions}/{exc.expected} drained; "
+            f"undrained: {', '.join(exc.undrained)}"
+        )
+    except Exception as exc:  # noqa: BLE001 - the failure *is* the result
+        if "scheduler" not in refs:
+            # The simulation never got assembled (unknown system, invalid
+            # parameters): that is an operator error, not a kernel
+            # outcome — there is nothing to fingerprint, so propagate.
+            raise
+        drained = False
+        error = f"{type(exc).__name__}: {exc}"
+
+    scheduler = refs["scheduler"]
+    tracker: UtilizationTracker = refs["tracker"]  # type: ignore[assignment]
+    monitor: InvariantMonitor = refs["monitor"]  # type: ignore[assignment]
+    board = refs["board"]
+    stats = scheduler.stats
+    if error is not None:
+        makespan = max(
+            (record.finish_time for record in stats.responses),
+            default=refs["engine"].now,  # type: ignore[union-attr]
+        )
+    monitor.finalize(drained=drained and error is None)
+    lines = trace_lines(tracer)
+    occupied = tracker.mean_occupied_utilization()
+    fabric = tracker.mean_fabric_utilization()
+    return KernelFingerprint(
+        kernel=kernel,
+        system=system,
+        drained=drained,
+        error=error,
+        completions=stats.completions,
+        makespan_ms=makespan,
+        counters={name: getattr(stats, name) for name in COUNTER_FIELDS},
+        response_times_ms=stats.response_times_ms(),
+        finish_times_ms=[record.finish_time for record in stats.responses],
+        trace_len=len(lines),
+        trace_sha256=hashlib.sha256("\n".join(lines).encode()).hexdigest(),
+        occupied_utilization=(occupied.lut, occupied.ff),
+        fabric_utilization=(fabric.lut, fabric.ff),
+        pcap_loads=board.pcap.loads,  # type: ignore[union-attr]
+        pcap_retries=board.pcap.verification_retries,  # type: ignore[union-attr]
+        violations=[str(violation) for violation in monitor.violations],
+        trace=lines,
+    )
+
+
+@dataclass(frozen=True)
+class FieldDivergence:
+    """One fingerprint field on which the kernels disagree."""
+
+    name: str
+    reference: object
+    optimized: object
+
+    def __str__(self) -> str:
+        return f"{self.name}: reference={self.reference!r} optimized={self.optimized!r}"
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of one oracle comparison."""
+
+    system: str
+    reference: KernelFingerprint
+    optimized: KernelFingerprint
+    fields: List[FieldDivergence] = field(default_factory=list)
+    #: ``(index, reference_line, optimized_line)`` of the first trace
+    #: record the kernels disagree on (a missing line reads as None).
+    first_trace_divergence: Optional[Tuple[int, Optional[str], Optional[str]]] = None
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.fields)
+
+    @property
+    def violations(self) -> List[str]:
+        """Invariant violations from either kernel (tagged by kernel)."""
+        out = []
+        for fingerprint in (self.reference, self.optimized):
+            out.extend(f"{fingerprint.kernel}: {v}" for v in fingerprint.violations)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged and not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.system}: kernels agree "
+                f"({self.optimized.trace_len} trace records, "
+                f"{self.optimized.completions} completions)"
+            )
+        lines = [f"{self.system}: DIVERGENCE"]
+        lines.extend(f"  {divergence}" for divergence in self.fields)
+        if self.first_trace_divergence is not None:
+            index, ref_line, opt_line = self.first_trace_divergence
+            lines.append(f"  first trace divergence at record {index}:")
+            lines.append(f"    reference: {ref_line}")
+            lines.append(f"    optimized: {opt_line}")
+        for violation in self.violations:
+            lines.append(f"  invariant: {violation}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready condensation (persisted inside repro files)."""
+        payload: Dict[str, object] = {
+            "system": self.system,
+            "fields": [
+                {
+                    "name": divergence.name,
+                    "reference": repr(divergence.reference),
+                    "optimized": repr(divergence.optimized),
+                }
+                for divergence in self.fields
+            ],
+            "violations": self.violations,
+        }
+        if self.first_trace_divergence is not None:
+            index, ref_line, opt_line = self.first_trace_divergence
+            payload["first_trace_divergence"] = {
+                "index": index,
+                "reference": ref_line,
+                "optimized": opt_line,
+            }
+        return payload
+
+
+def _first_trace_divergence(
+    reference: KernelFingerprint, optimized: KernelFingerprint
+) -> Optional[Tuple[int, Optional[str], Optional[str]]]:
+    for index, (ref_line, opt_line) in enumerate(
+        zip(reference.trace, optimized.trace)
+    ):
+        if ref_line != opt_line:
+            return (index, ref_line, opt_line)
+    shorter = min(len(reference.trace), len(optimized.trace))
+    if len(reference.trace) != len(optimized.trace):
+        ref_extra = reference.trace[shorter] if len(reference.trace) > shorter else None
+        opt_extra = optimized.trace[shorter] if len(optimized.trace) > shorter else None
+        return (shorter, ref_extra, opt_extra)
+    return None
+
+
+class DifferentialOracle:
+    """Run one cell on both kernels and demand bit-identical outcomes.
+
+    The factories are injectable so tests can swap a deliberately broken
+    kernel in for either side and assert the oracle catches it.
+    """
+
+    def __init__(
+        self,
+        optimized_factory: Optional[Callable[[], Engine]] = None,
+        reference_factory: Optional[Callable[[], Engine]] = None,
+        horizon_ms: float = DEFAULT_HORIZON_MS,
+    ) -> None:
+        self.optimized_factory = optimized_factory or Engine
+        self.reference_factory = reference_factory or ReferenceEngine
+        self.horizon_ms = horizon_ms
+
+    def check(
+        self,
+        system: str,
+        arrivals: Sequence[Arrival],
+        params: Optional[SystemParameters] = None,
+    ) -> DivergenceReport:
+        reference = instrumented_run(
+            system,
+            arrivals,
+            params,
+            kernel="reference",
+            engine_factory=self.reference_factory,
+            horizon_ms=self.horizon_ms,
+        )
+        optimized = instrumented_run(
+            system,
+            arrivals,
+            params,
+            kernel="optimized",
+            engine_factory=self.optimized_factory,
+            horizon_ms=self.horizon_ms,
+        )
+        report = DivergenceReport(system=system, reference=reference, optimized=optimized)
+        ref_fields = reference.comparable()
+        opt_fields = optimized.comparable()
+        for name in KernelFingerprint.COMPARED:
+            if ref_fields[name] != opt_fields[name]:
+                report.fields.append(
+                    FieldDivergence(name, ref_fields[name], opt_fields[name])
+                )
+        if report.diverged:
+            report.first_trace_divergence = _first_trace_divergence(
+                reference, optimized
+            )
+        return report

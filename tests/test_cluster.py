@@ -176,3 +176,179 @@ class TestContentionMonitor:
         # Updates from the standby board are ignored.
         monitor._on_update(standby)
         assert monitor.samples == []
+
+
+class _StubCalculator:
+    """Feeds a scripted D_switch sample stream into the monitor."""
+
+    def __init__(self, values):
+        self._values = list(values)
+        self.samples = []
+
+    def on_candidate_update(self, scheduler):
+        from repro.core.dswitch import DSwitchSample
+
+        if not self._values:
+            return None
+        value = self._values.pop(0)
+        sample = DSwitchSample(
+            time=0.0, value=value, completed_apps=0,
+            window_pr=4, window_blocked=2, candidate_apps=1,
+            candidate_batch=8,
+        )
+        self.samples.append(sample)
+        return sample
+
+
+class TestSwitchLifecycle:
+    """Migration and monitor paths: draining sources, standby reuse,
+    pre-warm edge cases."""
+
+    def test_intake_closed_while_source_drains(self):
+        """A switch-while-draining source refuses new arrivals until the
+        drain completes and it becomes the standby again."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        source = cluster.active_scheduler
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)  # the app has started executing
+        assert cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=501.0)  # the migration process closes the intake
+        with pytest.raises(RuntimeError, match="intake is closed"):
+            source.submit(ApplicationInstance(BENCHMARKS["AN"], 5, 500.0))
+        # New arrivals route to the target while the source drains.
+        cluster.submit(ApplicationInstance(BENCHMARKS["AN"], 5, 500.0))
+        engine.run(until=100_000_000)
+        assert cluster.is_drained
+        assert source.intake_open  # clean standby after the drain
+        assert source.stats.completions == 1
+        assert len(cluster.responses) == 2
+
+    def test_standby_reuse_switch_back(self):
+        """After a switch the drained source serves as the next standby:
+        a second switch moves the system back onto the original board."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        board0 = cluster.active_board
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 8, 0.0))
+        assert cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=50_000_000)
+        assert cluster.is_drained
+        assert cluster.active_config is BoardConfig.BIG_LITTLE
+        # The original board is reusable: switch back onto it.
+        cluster.submit(ApplicationInstance(BENCHMARKS["AN"], 6, engine.now))
+        assert cluster.request_switch(BoardConfig.ONLY_LITTLE)
+        assert cluster.active_board is board0
+        engine.run(until=200_000_000)
+        assert cluster.is_drained
+        assert cluster.migration_stats.count == 2
+        assert len(cluster.responses) == 2
+
+    def test_waiting_apps_follow_the_switch_back(self):
+        """Unstarted apps migrate on both the first and the second switch."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        # Saturate so late arrivals are still waiting when switches fire.
+        arrivals = [Arrival("OF", 25, 0.0)] * 3 + [Arrival("IC", 10, 10.0)] * 3
+        engine.process(drive(engine, cluster, arrivals))
+
+        def switch_twice():
+            yield engine.timeout(400.0)
+            cluster.request_switch(BoardConfig.BIG_LITTLE)
+            yield engine.timeout(400.0)
+            cluster.request_switch(BoardConfig.ONLY_LITTLE)
+
+        engine.process(switch_twice())
+        engine.run(until=200_000_000)
+        assert cluster.is_drained
+        assert len(cluster.responses) == len(arrivals)
+        assert cluster.migration_stats.count == 2
+        assert cluster.migration_stats.apps_moved >= 1
+
+    def test_prewarm_without_standby_is_noop(self):
+        """Pre-warming a configuration with no standby board does nothing
+        (the monitor may request it while a switch is in flight)."""
+        engine = Engine()
+        cluster = FPGACluster(
+            engine,
+            scheduler_factory=lambda b, p, t: make_versaslot(b, p, t),
+            configs=[BoardConfig.ONLY_LITTLE],
+            initial=BoardConfig.ONLY_LITTLE,
+        )
+        cluster.prewarm(BoardConfig.BIG_LITTLE)  # no BL board exists
+        cluster.prewarm(BoardConfig.ONLY_LITTLE)  # only board is active
+        assert cluster._prewarmed == {}
+
+    def test_prewarm_flag_resets_after_switch(self):
+        """A pre-warm is consumed by the switch it prepared; the next
+        switch onto that board must stage bitstreams again."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        cluster.submit(ApplicationInstance(BENCHMARKS["IC"], 10, 0.0))
+        engine.run(until=500.0)
+        cluster.prewarm(BoardConfig.BIG_LITTLE)
+        target_index = cluster.schedulers.index(
+            cluster.scheduler_for(BoardConfig.BIG_LITTLE)
+        )
+        assert cluster._prewarmed[target_index]
+        cluster.request_switch(BoardConfig.BIG_LITTLE)
+        engine.run(until=100_000_000)
+        assert not cluster._prewarmed[target_index]
+
+    def test_switch_request_refused_when_no_standby_matches(self):
+        engine = Engine()
+        cluster = FPGACluster(
+            engine,
+            scheduler_factory=lambda b, p, t: make_versaslot(b, p, t),
+            configs=[BoardConfig.ONLY_LITTLE],
+            initial=BoardConfig.ONLY_LITTLE,
+        )
+        assert not cluster.request_switch(BoardConfig.BIG_LITTLE)
+
+
+class TestMonitorPaths:
+    def test_buffer_zone_prewarms_then_threshold_switches(self):
+        """A rising D_switch inside the buffer zone pre-warms the standby;
+        crossing T1 fires the actual switch."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        monitor = ContentionMonitor(
+            cluster,
+            DEFAULT_PARAMETERS,
+            calculator=_StubCalculator([0.05, 0.06, 0.5]),
+        )
+        target_index = cluster.schedulers.index(
+            cluster.scheduler_for(BoardConfig.BIG_LITTLE)
+        )
+        active = cluster.active_scheduler
+        monitor._on_update(active)  # 0.05: buffer zone, no slope yet
+        assert not cluster._prewarmed.get(target_index)
+        monitor._on_update(active)  # 0.06: rising in the zone -> prewarm
+        assert cluster._prewarmed.get(target_index)
+        assert cluster.active_config is BoardConfig.ONLY_LITTLE
+        monitor._on_update(active)  # 0.5: crosses T1 -> switch
+        assert cluster.active_config is BoardConfig.BIG_LITTLE
+
+    def test_switch_fallback_resets_trigger_mode(self):
+        """When the standby is unavailable the trigger mode falls back so
+        the threshold crossing can re-fire later."""
+        engine = Engine()
+        cluster = make_cluster(engine)
+        monitor = ContentionMonitor(cluster, DEFAULT_PARAMETERS)
+        cluster._switching = True  # a switch is already in flight
+        monitor.trigger.mode = BoardConfig.BIG_LITTLE  # trigger just fired
+        monitor._switch(BoardConfig.BIG_LITTLE)
+        assert monitor.trigger.mode is BoardConfig.ONLY_LITTLE
+
+    def test_monitor_ignores_updates_when_disabled(self):
+        engine = Engine()
+        cluster = make_cluster(engine)
+        monitor = ContentionMonitor(
+            cluster,
+            DEFAULT_PARAMETERS,
+            calculator=_StubCalculator([0.5]),
+            enabled=False,
+        )
+        monitor._on_update(cluster.active_scheduler)
+        assert monitor.events == []
+        assert cluster.active_config is BoardConfig.ONLY_LITTLE

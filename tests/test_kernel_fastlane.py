@@ -32,6 +32,7 @@ from repro.sim import (
     Tracer,
 )
 from repro.sim.engine import PooledTimeout
+from repro.verify.oracle import trace_lines
 from repro.workloads import Condition, WorkloadGenerator, drive
 
 DATA = Path(__file__).parent / "data"
@@ -51,10 +52,15 @@ class TestGoldenKernelStress:
     Exercises chained timeouts (fast-lane), bare events, AllOf/AnyOf,
     FIFO resources under contention, stores, interrupts during timeout
     waits and process joins — all interleaved at identical sim times.
+
+    ``engine_factory`` is overridable so the verify suite can pin the
+    reference kernel against the same goldens (tests/test_verify_oracle).
     """
 
+    engine_factory = staticmethod(Engine)
+
     def _run(self):
-        engine = Engine()
+        engine = self.engine_factory()
         log = []
         resource = Resource(engine, capacity=2, name="mutex")
         store = Store(engine, name="queue")
@@ -135,11 +141,9 @@ class TestGoldenSimulation:
         arrivals = WorkloadGenerator(7).sequence(Condition.STRESS, n_apps=10)
         engine.process(drive(engine, scheduler, arrivals))
         engine.run(until=50_000_000)
-        lines = [
-            f"{r.time:.9f}|{r.category}|"
-            f"{json.dumps(r.payload, sort_keys=True, default=str)}"
-            for r in tracer.records
-        ]
+        # The one canonical rendering: the verify oracle fingerprints with
+        # the same function, so goldens and fingerprints stay comparable.
+        lines = trace_lines(tracer)
         assert len(lines) == golden["trace_len"]
         assert lines[:5] == golden["trace_head"]
         digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
