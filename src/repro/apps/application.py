@@ -89,12 +89,14 @@ class ApplicationSpec:
                 )
         # Per-bundle member latencies, precomputed once: bundle runs and
         # the bundling decision ask for these on the scheduling hot path.
-        # (object.__setattr__ because the dataclass is frozen; keyed by
-        # identity since the bundles live exactly as long as the spec.)
-        object.__setattr__(self, "_bundle_times", {
-            id(bundle): tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
+        # (object.__setattr__ because the dataclass is frozen; positional
+        # by bundle index — an id()-keyed cache goes stale the moment a
+        # spec crosses a pickle boundary into a multiprocessing worker,
+        # silently recomputing on every hot-path lookup.)
+        object.__setattr__(self, "_bundle_times", tuple(
+            tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
             for bundle in self.bundles
-        })
+        ))
 
     @property
     def task_count(self) -> int:
@@ -115,11 +117,24 @@ class ApplicationSpec:
         return self.bundles[task_index // BUNDLE_SIZE]
 
     def bundle_exec_times(self, bundle: BundleSpec) -> Tuple[float, ...]:
-        """Per-item latencies of a bundle's member tasks."""
-        times = self._bundle_times.get(id(bundle))
-        if times is None:  # a bundle not belonging to this spec
-            return tuple(self.tasks[i].exec_time_ms for i in bundle.task_indices)
-        return times
+        """Per-item latencies of a bundle's member tasks (precomputed)."""
+        index = bundle.index
+        if not 0 <= index < len(self._bundle_times):
+            raise ValueError(
+                f"bundle {bundle.name!r} does not belong to "
+                f"application {self.name!r}"
+            )
+        own = self.bundles[index]
+        # Identity first: on the scheduling hot path the bundle always IS
+        # this spec's bundle.  Equality covers equal-but-not-identical
+        # bundles after a pickle boundary; anything else is a model bug,
+        # not a cache miss — no silent recompute fallback.
+        if own is not bundle and own != bundle:
+            raise ValueError(
+                f"bundle {bundle.name!r} does not belong to "
+                f"application {self.name!r}"
+            )
+        return self._bundle_times[index]
 
     def mean_little_utilization(self) -> ResourceVector:
         """Mean per-task utilization of a Little slot (Fig. 7 left basis)."""

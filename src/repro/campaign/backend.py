@@ -130,9 +130,10 @@ def simulate_run(
             system, stats.completions, len(arrivals), undrained, engine.now
         )
     # ``engine.run(until=...)`` parks the clock at the horizon; the last
-    # completion is the simulation's actual makespan.
+    # completion is the simulation's actual makespan (an empty arrival
+    # list — a fleet shard the router sent nothing to — has makespan 0).
     makespan = max(
-        (record.finish_time for record in stats.responses), default=engine.now
+        (record.finish_time for record in stats.responses), default=0.0
     )
     return SimulationOutcome(system=system, stats=stats, makespan_ms=makespan)
 
@@ -158,6 +159,11 @@ class CampaignCell:
     #: Simulation kernel to run on ("optimized" or "reference"); the
     #: verify layer runs the same cell on both and diffs the outcomes.
     kernel: str = "optimized"
+    #: Fleet shard index this cell simulates; -1 for non-fleet cells.
+    shard: int = -1
+    #: Condition label for explicit-arrival cells (a cell regenerating
+    #: from ``workload`` derives the label from the spec instead).
+    condition_label: str = ""
 
     def engine_factory(self) -> Optional[Callable[[], Engine]]:
         """Engine factory for this cell's kernel (None = default kernel)."""
@@ -186,15 +192,49 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
     method.
     """
     arrivals = cell.resolve_arrivals()
+    trackers = {}
+
+    def attach_tracker(engine, board, scheduler) -> None:
+        # Observability only: the tracker subscribes to slot observers and
+        # schedules nothing, so the simulation trace is unchanged.
+        from ..metrics.utilization import UtilizationTracker
+
+        trackers["utilization"] = UtilizationTracker(board)
+
     outcome = simulate_run(
         cell.system,
         arrivals,
         cell.params,
         horizon_ms=cell.horizon_ms,
         engine_factory=cell.engine_factory(),
+        instruments=(attach_tracker,),
     )
     stats = outcome.stats
-    condition = cell.workload.condition.label if cell.workload else "explicit"
+    if cell.workload is not None:
+        condition = cell.workload.condition.label
+    else:
+        condition = cell.condition_label or "explicit"
+    tracker = trackers["utilization"]
+    occupied = tracker.mean_occupied_utilization()
+    fabric = tracker.mean_fabric_utilization()
+    # ``engine.run(until=...)`` parks the clock at the horizon, so the
+    # tracker's elapsed span covers a huge idle tail; renormalize the
+    # whole-fabric means over the run's active span (the makespan).
+    makespan = outcome.makespan_ms
+    if makespan > 0:
+        scale = tracker.elapsed_ms() / makespan
+        utilization = {
+            "occupied_lut": occupied.lut,
+            "occupied_ff": occupied.ff,
+            "fabric_lut": fabric.lut * scale,
+            "fabric_ff": fabric.ff * scale,
+            "elapsed_ms": makespan,
+        }
+    else:
+        utilization = {
+            "occupied_lut": 0.0, "occupied_ff": 0.0,
+            "fabric_lut": 0.0, "fabric_ff": 0.0, "elapsed_ms": 0.0,
+        }
     return RunRecord(
         scenario=cell.scenario,
         system=cell.system,
@@ -206,6 +246,8 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
         response_times_ms=stats.response_times_ms(),
         counters={name: getattr(stats, name) for name in COUNTER_FIELDS},
         fingerprint=fingerprint_parameters(cell.params),
+        shard=cell.shard,
+        utilization=utilization,
     )
 
 

@@ -60,6 +60,11 @@ class RunRecord:
     response_times_ms: List[float] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     fingerprint: str = ""
+    #: Fleet shard that produced this record; -1 for non-fleet cells.
+    shard: int = -1
+    #: Time-weighted utilization aggregates of the run (occupied-slot and
+    #: whole-fabric LUT/FF means plus the elapsed weight for rollups).
+    utilization: Dict[str, float] = field(default_factory=dict)
     schema: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:

@@ -12,6 +12,8 @@ parallel backend, and replays persisted results:
     python -m repro campaign list
     python -m repro campaign run fig5-standard --jobs 4
     python -m repro campaign replay results/repros/repro-smoke-3.json
+    python -m repro fleet list
+    python -m repro fleet run fleet-diurnal --shards 4 --jobs 4
     python -m repro replay results/fig5.jsonl --figure fig5
     python -m repro verify --fuzz 50 --seed 0
     python -m repro bench --quick --baseline BENCH_kernel.json
@@ -41,6 +43,7 @@ from .experiments import (
     run_fig7,
     run_fig8,
 )
+from .fleet import Fleet, fleet_scenario_names, get_fleet_scenario
 from .experiments.runner import SYSTEMS
 from .metrics.plots import bar_chart, trace_plot
 from .metrics.report import summarize_records
@@ -106,6 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--figure", choices=("summary", "fig5", "fig6"), default="summary",
         help="rendering for records files (ignored for repro files)",
     )
+
+    fleet = sub.add_parser(
+        "fleet", help="run sharded multi-cluster fleet scenarios"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_sub.add_parser("list", help="list registered fleet scenarios")
+    fleet_run = fleet_sub.add_parser("run", help="run one fleet scenario")
+    fleet_run.add_argument("scenario", help="registered fleet scenario name")
+    fleet_run.add_argument("--shards", type=int, default=None,
+                           help="override the scenario's shard count")
+    fleet_run.add_argument("--apps", type=int, default=None,
+                           help="override the global arrival-stream size")
+    fleet_run.add_argument("--seed", type=int, default=None,
+                           help="replace the scenario's seed set with one seed")
+    add_parallel_options(fleet_run)
 
     verify = sub.add_parser(
         "verify",
@@ -179,6 +197,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "list":
+        for name in fleet_scenario_names():
+            scenario = get_fleet_scenario(name)
+            workload = scenario.workload
+            print(
+                f"{name:<20s} {scenario.n_shards} shards x "
+                f"{len(scenario.seeds)} seeds, policy {scenario.policy:<12s} "
+                f"({workload.kind}, {workload.condition.label}, "
+                f"{workload.n_apps} apps, {scenario.system})"
+                + (f"  — {scenario.description}" if scenario.description else "")
+            )
+        return 0
+    try:
+        scenario = get_fleet_scenario(args.scenario).scaled(
+            n_shards=args.shards,
+            n_apps=args.apps,
+            seeds=(args.seed,) if args.seed is not None else None,
+        )
+    except (KeyError, ValueError) as exc:
+        return _operator_error(exc)
+    out = args.out if args.out else f"results/{scenario.name}.jsonl"
+    store = ResultsStore(out)
+    result = Fleet(scenario).run(jobs=args.jobs, store=store)
+    print(result.rollup.table())
+    print(f"\n{len(result.records)} shard records appended to {store.path}")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     # A fuzzer-found repro replays as a fresh oracle comparison — the
     # one-command reproduction of a persisted kernel divergence.  All
@@ -219,6 +266,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "verify":
         return run_verify_command(args)
     if args.command == "bench":

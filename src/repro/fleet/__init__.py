@@ -1,0 +1,60 @@
+"""Sharded multi-cluster fleet: routing front-end over campaign shards."""
+
+from .fleet import (
+    FLEET_SCENARIOS,
+    Fleet,
+    FleetResult,
+    FleetRollup,
+    FleetScenario,
+    ShardRollup,
+    fleet_scenario_names,
+    get_fleet_scenario,
+    register_fleet_scenario,
+    rollup_records,
+)
+from .routing import (
+    ADMISSION_BATCH,
+    ROUTING_POLICIES,
+    ConsistentHashPolicy,
+    LeastLoadedPolicy,
+    PowerOfTwoPolicy,
+    RoutingPolicy,
+    estimated_work_ms,
+    get_policy,
+    load_imbalance,
+    partition_arrivals,
+    policy_names,
+    register_policy,
+    stable_digest,
+)
+from .workload import FLEET_WORKLOAD_KINDS, FleetWorkload
+
+from . import scenarios  # noqa: F401  (registers the built-in fleet scenarios)
+
+__all__ = [
+    "ADMISSION_BATCH",
+    "ConsistentHashPolicy",
+    "FLEET_SCENARIOS",
+    "FLEET_WORKLOAD_KINDS",
+    "Fleet",
+    "FleetResult",
+    "FleetRollup",
+    "FleetScenario",
+    "FleetWorkload",
+    "LeastLoadedPolicy",
+    "PowerOfTwoPolicy",
+    "ROUTING_POLICIES",
+    "RoutingPolicy",
+    "ShardRollup",
+    "estimated_work_ms",
+    "fleet_scenario_names",
+    "get_fleet_scenario",
+    "get_policy",
+    "load_imbalance",
+    "partition_arrivals",
+    "policy_names",
+    "register_fleet_scenario",
+    "register_policy",
+    "rollup_records",
+    "stable_digest",
+]

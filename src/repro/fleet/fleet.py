@@ -1,0 +1,337 @@
+"""The sharded fleet: N independent clusters behind a routing front-end.
+
+A :class:`FleetScenario` declares the whole deployment — shard count,
+routing policy, the global arrival stream and the per-shard system — and
+:class:`Fleet` turns it into executable work: the front-end routes the
+stream into per-shard sub-streams (:func:`repro.fleet.routing.partition_arrivals`),
+and every (seed × shard) pair becomes one explicit-arrival
+:class:`~repro.campaign.backend.CampaignCell`.  Each cell rebuilds its own
+engine, RNG streams and instance-id space, so the campaign backends run
+shards serially or fanned out over worker processes with bit-identical
+per-shard records; the dispatch plan itself is a pure function of
+``(scenario, seed)`` and reproduces in any process (no ``hash()``, no
+``id()`` anywhere on the path).
+
+Results persist through the campaign results layer — one
+:class:`~repro.campaign.results.RunRecord` per shard, tagged with its
+shard index — and roll up into per-shard and global response/utilization
+aggregates via the existing metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..campaign.backend import DEFAULT_HORIZON_MS, CampaignCell, make_backend
+from ..campaign.results import ResultsStore, RunRecord
+from ..campaign.scenario import SYSTEM_REGISTRY, get_system
+from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..metrics.report import format_table
+from ..metrics.response import ResponseStats
+from .routing import ROUTING_POLICIES, load_imbalance, partition_arrivals
+from .workload import FleetWorkload
+
+from ..workloads.generator import Arrival
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A declarative, picklable fleet deployment spec."""
+
+    name: str
+    system: str
+    n_shards: int
+    policy: str
+    workload: FleetWorkload
+    seeds: Tuple[int, ...] = (1,)
+    #: ``SystemParameters`` overrides, sorted pairs (hashable, like
+    #: :class:`~repro.campaign.scenario.Scenario`).
+    overrides: Tuple[Tuple[str, float], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        pairs = (
+            sorted(self.overrides.items())
+            if isinstance(self.overrides, Mapping)
+            else sorted(tuple(pair) for pair in self.overrides)
+        )
+        object.__setattr__(self, "overrides", tuple(pairs))
+        if self.n_shards < 1:
+            raise ValueError(f"fleet {self.name!r} needs >= 1 shard")
+        if not self.seeds:
+            raise ValueError(f"fleet {self.name!r} has no seeds")
+        if self.system not in SYSTEM_REGISTRY:
+            raise KeyError(
+                f"fleet {self.name!r}: unknown system {self.system!r}; "
+                f"available: {', '.join(SYSTEM_REGISTRY)}"
+            )
+        if self.policy not in ROUTING_POLICIES:
+            raise KeyError(
+                f"fleet {self.name!r}: unknown routing policy "
+                f"{self.policy!r}; available: {', '.join(ROUTING_POLICIES)}"
+            )
+
+    def system_names(self) -> Tuple[str, ...]:
+        """The (single) system every shard runs — campaign-Scenario shape."""
+        return (self.system,)
+
+    def parameters(self, base: Optional[SystemParameters] = None) -> SystemParameters:
+        resolved = base if base is not None else DEFAULT_PARAMETERS
+        if self.overrides:
+            resolved = resolved.with_overrides(**dict(self.overrides))
+        return resolved
+
+    def scaled(
+        self,
+        n_shards: Optional[int] = None,
+        n_apps: Optional[int] = None,
+        seeds: Optional[Tuple[int, ...]] = None,
+    ) -> "FleetScenario":
+        """A copy with the shard count / stream size / seeds adjusted."""
+        import dataclasses
+
+        workload = self.workload
+        if n_apps is not None:
+            workload = dataclasses.replace(workload, n_apps=n_apps)
+        return dataclasses.replace(
+            self,
+            n_shards=n_shards if n_shards is not None else self.n_shards,
+            workload=workload,
+            seeds=tuple(seeds) if seeds is not None else self.seeds,
+        )
+
+    def cell_count(self) -> int:
+        return self.n_shards * len(self.seeds)
+
+
+#: Registered fleet scenarios by name (insertion-ordered dict).
+FLEET_SCENARIOS: Dict[str, FleetScenario] = {}
+
+
+def register_fleet_scenario(scenario: FleetScenario) -> FleetScenario:
+    if scenario.name in FLEET_SCENARIOS:
+        raise ValueError(f"fleet scenario {scenario.name!r} is already registered")
+    FLEET_SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_fleet_scenario(name: str) -> FleetScenario:
+    try:
+        return FLEET_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet scenario {name!r}; "
+            f"available: {', '.join(FLEET_SCENARIOS)}"
+        ) from None
+
+
+def fleet_scenario_names() -> List[str]:
+    return list(FLEET_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Rollups
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardRollup:
+    """Aggregates of one shard (or the whole fleet, ``shard == -1``)."""
+
+    shard: int
+    runs: int
+    n_apps: int
+    mean_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_makespan_ms: float
+    pr_count: int
+    fabric_lut: float
+
+    @property
+    def label(self) -> str:
+        return "fleet" if self.shard < 0 else f"shard{self.shard}"
+
+
+@dataclass
+class FleetRollup:
+    """Per-shard plus global aggregates of one fleet run."""
+
+    scenario: str
+    system: str
+    policy: str
+    n_shards: int
+    per_shard: List[ShardRollup] = field(default_factory=list)
+    overall: Optional[ShardRollup] = None
+    #: Max/mean estimated shard load of the dispatch plan (mean over seeds).
+    imbalance: float = 1.0
+
+    def table(self) -> str:
+        rows = [
+            [
+                rollup.label, rollup.runs, rollup.n_apps, rollup.mean_ms,
+                rollup.p95_ms, rollup.p99_ms, rollup.mean_makespan_ms,
+                rollup.pr_count, rollup.fabric_lut,
+            ]
+            for rollup in [*self.per_shard, *([self.overall] if self.overall else [])]
+        ]
+        return format_table(
+            ["shard", "runs", "apps", "mean (ms)", "p95 (ms)", "p99 (ms)",
+             "makespan (ms)", "PRs", "fabric LUT"],
+            rows,
+            title=(
+                f"Fleet {self.scenario} — {self.system}, "
+                f"{self.n_shards} shards, policy {self.policy} "
+                f"(load imbalance {self.imbalance:.2f})"
+            ),
+        )
+
+
+def _rollup_group(shard: int, records: List[RunRecord]) -> ShardRollup:
+    stats = ResponseStats()
+    for record in records:
+        stats.extend(record.response_times_ms)
+    has_samples = stats.count > 0
+    elapsed = sum(r.utilization.get("elapsed_ms", 0.0) for r in records)
+    fabric_lut = 0.0
+    if elapsed > 0:
+        fabric_lut = sum(
+            r.utilization.get("fabric_lut", 0.0)
+            * r.utilization.get("elapsed_ms", 0.0)
+            for r in records
+        ) / elapsed
+    return ShardRollup(
+        shard=shard,
+        runs=len(records),
+        n_apps=sum(r.n_apps for r in records),
+        mean_ms=stats.mean() if has_samples else 0.0,
+        p95_ms=stats.p95() if has_samples else 0.0,
+        p99_ms=stats.p99() if has_samples else 0.0,
+        mean_makespan_ms=(
+            sum(r.makespan_ms for r in records) / len(records) if records else 0.0
+        ),
+        pr_count=int(sum(r.counters.get("pr_count", 0) for r in records)),
+        fabric_lut=fabric_lut,
+    )
+
+
+def rollup_records(
+    scenario: FleetScenario, records: List[RunRecord], imbalance: float = 1.0
+) -> FleetRollup:
+    """Per-shard + global rollups of one fleet run's records."""
+    by_shard: Dict[int, List[RunRecord]] = {}
+    for record in records:
+        by_shard.setdefault(record.shard, []).append(record)
+    rollup = FleetRollup(
+        scenario=scenario.name,
+        system=scenario.system,
+        policy=scenario.policy,
+        n_shards=scenario.n_shards,
+        imbalance=imbalance,
+    )
+    for shard in sorted(by_shard):
+        rollup.per_shard.append(_rollup_group(shard, by_shard[shard]))
+    rollup.overall = _rollup_group(-1, records)
+    return rollup
+
+
+# ---------------------------------------------------------------------------
+# The fleet itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    scenario: FleetScenario
+    records: List[RunRecord]
+    rollup: FleetRollup
+
+
+class Fleet:
+    """N cluster shards behind the routing/admission front-end.
+
+    The fleet object is the *orchestrator*: it owns the dispatch plan and
+    delegates shard execution to the campaign backends so one shard ==
+    one campaign cell (each cell rebuilds its own engine and RNG streams).
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        base_params: Optional[SystemParameters] = None,
+    ) -> None:
+        get_system(scenario.system)  # fail fast on an unknown system
+        self.scenario = scenario
+        self.params = scenario.parameters(base_params)
+
+    # ------------------------------------------------------------------
+    def shard_plan(self, seed: int) -> List[List[Arrival]]:
+        """The dispatch plan: the global stream routed into shards."""
+        scenario = self.scenario
+        arrivals = scenario.workload.arrivals(seed)
+        return partition_arrivals(
+            arrivals, scenario.n_shards, scenario.policy, seed
+        )
+
+    def plans(self) -> Dict[int, List[List[Arrival]]]:
+        """The dispatch plan of every seed, computed once."""
+        return {seed: self.shard_plan(seed) for seed in self.scenario.seeds}
+
+    def cells(
+        self,
+        kernel: str = "optimized",
+        plans: Optional[Dict[int, List[List[Arrival]]]] = None,
+    ) -> List[CampaignCell]:
+        """One explicit-arrival campaign cell per (seed × shard)."""
+        scenario = self.scenario
+        if plans is None:
+            plans = self.plans()
+        label = scenario.workload.condition.label
+        cells: List[CampaignCell] = []
+        for seed in scenario.seeds:
+            for shard, arrivals in enumerate(plans[seed]):
+                cells.append(
+                    CampaignCell(
+                        scenario=scenario.name,
+                        system=scenario.system,
+                        sequence_index=0,
+                        seed=seed,
+                        params=self.params,
+                        arrivals=tuple(arrivals),
+                        horizon_ms=DEFAULT_HORIZON_MS,
+                        kernel=kernel,
+                        shard=shard,
+                        condition_label=label,
+                    )
+                )
+        return cells
+
+    def run(
+        self,
+        jobs: int = 1,
+        store: Optional[Union[ResultsStore, str, Path]] = None,
+        kernel: str = "optimized",
+    ) -> FleetResult:
+        """Execute every shard cell and roll the records up.
+
+        ``jobs=1`` runs shards serially in-process (the determinism
+        reference); ``jobs=N`` fans shards out over N worker processes
+        with bit-identical records.
+        """
+        backend = make_backend(jobs)
+        plans = self.plans()
+        records = backend.run(self.cells(kernel=kernel, plans=plans))
+        if store is not None:
+            if not isinstance(store, ResultsStore):
+                store = ResultsStore(store)
+            store.extend(records)
+        imbalances = [load_imbalance(plan) for plan in plans.values()]
+        rollup = rollup_records(
+            self.scenario, records, sum(imbalances) / len(imbalances)
+        )
+        return FleetResult(scenario=self.scenario, records=records, rollup=rollup)

@@ -1,0 +1,205 @@
+"""Routing and admission policies for the sharded fleet front-end.
+
+The fleet front-end assigns every arriving application to one of N
+independent cluster shards.  Routing runs at *admission time*, against the
+front-end's own load accounting (estimated slot-work routed to each shard
+so far), never against live simulation telemetry — that is what makes a
+dispatch plan a pure function of the arrival stream, so shards simulate as
+independent campaign cells with bit-identical results whether they run
+serially or fanned out over worker processes.
+
+Every policy is seeded through :class:`~repro.sim.rng.SeededStreams` and
+every hash is a SHA-256 digest (:func:`stable_digest`), never the builtin
+``hash()``: a routing decision must come out the same in every worker
+process regardless of ``PYTHONHASHSEED``.
+
+Arrivals are admitted in small *batches* (:data:`ADMISSION_BATCH`): the
+load snapshot the policies see is frozen at batch start, modelling a
+front-end that folds telemetry in periodically rather than per request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..apps.benchmarks import BENCHMARKS
+from ..sim import SeededStreams
+from ..workloads.generator import Arrival
+
+#: Arrivals admitted per routing batch; the per-shard load snapshot the
+#: policies consult refreshes only at batch boundaries.
+ADMISSION_BATCH = 4
+
+#: Virtual nodes per shard on the consistent-hash ring.
+VNODES = 64
+
+
+def stable_digest(text: str) -> int:
+    """A 63-bit integer digest of ``text``, stable across processes."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def estimated_work_ms(arrival: Arrival) -> float:
+    """Admission-time work estimate of one arrival (total slot-work)."""
+    spec = BENCHMARKS[arrival.app_name]
+    return sum(task.exec_time_ms for task in spec.tasks) * arrival.batch_size
+
+
+class RoutingPolicy:
+    """Base class: map an arrival to a shard index.
+
+    ``loads`` is the front-end's per-shard estimated-work snapshot, frozen
+    at the start of the current admission batch.
+    """
+
+    name = "?"
+
+    def __init__(self, n_shards: int, streams: SeededStreams) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.streams = streams
+
+    def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
+        raise NotImplementedError
+
+
+#: Registered policies by name (insertion-ordered dict).
+ROUTING_POLICIES: Dict[str, Callable[..., RoutingPolicy]] = {}
+
+
+def register_policy(cls):
+    """Class decorator adding a routing policy to the registry."""
+    if cls.name in ROUTING_POLICIES:
+        raise ValueError(f"routing policy {cls.name!r} is already registered")
+    ROUTING_POLICIES[cls.name] = cls
+    return cls
+
+
+def get_policy(name: str, n_shards: int, streams: SeededStreams) -> RoutingPolicy:
+    """Instantiate a registered policy; KeyError names the alternatives."""
+    try:
+        factory = ROUTING_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown routing policy {name!r}; "
+            f"available: {', '.join(ROUTING_POLICIES)}"
+        ) from None
+    return factory(n_shards, streams)
+
+
+def policy_names() -> List[str]:
+    return list(ROUTING_POLICIES)
+
+
+@register_policy
+class ConsistentHashPolicy(RoutingPolicy):
+    """Consistent-hash ring keyed by application name.
+
+    All arrivals of one benchmark land on one shard (cache/bitstream
+    affinity), and adding a shard only remaps ~1/N of the key space.
+    ``VNODES`` virtual nodes per shard keep the ring balanced.
+    """
+
+    name = "hash"
+
+    def __init__(self, n_shards: int, streams: SeededStreams) -> None:
+        super().__init__(n_shards, streams)
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for vnode in range(VNODES):
+                points.append((stable_digest(f"shard{shard}/vnode{vnode}"), shard))
+        points.sort()
+        self._ring = [point for point, _ in points]
+        self._owner = [shard for _, shard in points]
+
+    def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
+        point = stable_digest(f"app/{arrival.app_name}")
+        index = bisect_right(self._ring, point) % len(self._ring)
+        return self._owner[index]
+
+
+@register_policy
+class LeastLoadedPolicy(RoutingPolicy):
+    """Route to the shard with the least estimated work (ties: lowest index)."""
+
+    name = "least-loaded"
+
+    def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
+        best = 0
+        best_load = loads[0]
+        for shard in range(1, self.n_shards):
+            if loads[shard] < best_load:
+                best = shard
+                best_load = loads[shard]
+        return best
+
+
+@register_policy
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Pick two random candidate shards, route to the less loaded one.
+
+    The candidate stream comes from the fleet's seeded RNG family, so the
+    choice sequence is reproducible in every process; with one shard it
+    degenerates to that shard.
+    """
+
+    name = "p2c"
+
+    def __init__(self, n_shards: int, streams: SeededStreams) -> None:
+        super().__init__(n_shards, streams)
+        self._rng = streams.stream("p2c")
+
+    def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
+        first = self._rng.randrange(self.n_shards)
+        second = self._rng.randrange(self.n_shards)
+        return first if loads[first] <= loads[second] else second
+
+
+def partition_arrivals(
+    arrivals: Sequence[Arrival],
+    n_shards: int,
+    policy: str,
+    seed: int,
+    admission_batch: int = ADMISSION_BATCH,
+) -> List[List[Arrival]]:
+    """The fleet dispatch plan: arrivals routed to per-shard sub-streams.
+
+    Pure and deterministic in ``(arrivals, n_shards, policy, seed)`` —
+    recomputing the plan in a worker process yields the identical split.
+    """
+    streams = SeededStreams(seed).spawn("fleet-router")
+    router = get_policy(policy, n_shards, streams)
+    loads = [0.0] * n_shards
+    shards: List[List[Arrival]] = [[] for _ in range(n_shards)]
+    for start in range(0, len(arrivals), admission_batch):
+        snapshot = tuple(loads)
+        for arrival in arrivals[start:start + admission_batch]:
+            shard = router.route(arrival, snapshot)
+            if not 0 <= shard < n_shards:
+                raise ValueError(
+                    f"policy {policy!r} routed to shard {shard} "
+                    f"outside [0, {n_shards})"
+                )
+            shards[shard].append(arrival)
+            loads[shard] += estimated_work_ms(arrival)
+    return shards
+
+
+def shard_loads(shards: Sequence[Sequence[Arrival]]) -> List[float]:
+    """Estimated per-shard work of a dispatch plan (rollup/imbalance input)."""
+    return [
+        sum(estimated_work_ms(arrival) for arrival in shard) for shard in shards
+    ]
+
+
+def load_imbalance(shards: Sequence[Sequence[Arrival]]) -> float:
+    """Max/mean estimated shard load (1.0 == perfectly balanced)."""
+    loads = shard_loads(shards)
+    total = sum(loads)
+    if not loads or total <= 0:
+        return 1.0
+    return max(loads) / (total / len(loads))

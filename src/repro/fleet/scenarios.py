@@ -1,0 +1,62 @@
+"""Built-in fleet scenario families.
+
+Each family pairs a fleet workload shape with the routing policy it
+stresses: diurnal traffic behind the consistent-hash ring, heavy-tailed
+bursts behind least-loaded admission, Zipf-skewed popularity deliberately
+behind the hash ring (the hot-shard case), and a multi-tenant mix behind
+power-of-two-choices.  Sizes are CI-friendly; scale with
+``repro fleet run NAME --apps N --shards K --seed S``.
+"""
+
+from __future__ import annotations
+
+from ..workloads.generator import Condition
+from .fleet import FleetScenario, register_fleet_scenario
+from .workload import FleetWorkload
+
+register_fleet_scenario(FleetScenario(
+    name="fleet-smoke",
+    system="VersaSlot-OL",
+    n_shards=2,
+    policy="hash",
+    workload=FleetWorkload(kind="uniform", condition=Condition.STRESS, n_apps=8),
+    description="Tiny two-shard fleet for CI smoke runs.",
+))
+
+register_fleet_scenario(FleetScenario(
+    name="fleet-diurnal",
+    system="VersaSlot-BL",
+    n_shards=4,
+    policy="hash",
+    workload=FleetWorkload(kind="diurnal", condition=Condition.STANDARD, n_apps=32),
+    description="Day/night rate swings over a four-shard hash ring.",
+))
+
+register_fleet_scenario(FleetScenario(
+    name="fleet-bursty",
+    system="VersaSlot-OL",
+    n_shards=4,
+    policy="least-loaded",
+    workload=FleetWorkload(kind="bursty", condition=Condition.STRESS, n_apps=32),
+    description="Heavy-tailed arrival clumps absorbed by least-loaded admission.",
+))
+
+register_fleet_scenario(FleetScenario(
+    name="fleet-hot-shard",
+    system="Nimblock",
+    n_shards=4,
+    policy="hash",
+    workload=FleetWorkload(kind="hot-skew", condition=Condition.STANDARD, n_apps=32),
+    description="Zipf-skewed app popularity concentrating load on few shards.",
+))
+
+register_fleet_scenario(FleetScenario(
+    name="fleet-multi-tenant",
+    system="VersaSlot-BL",
+    n_shards=4,
+    policy="p2c",
+    workload=FleetWorkload(
+        kind="multi-tenant", condition=Condition.STANDARD, n_apps=32
+    ),
+    description="Batch/interactive/realtime tenant mix under power-of-two routing.",
+))

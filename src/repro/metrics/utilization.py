@@ -135,6 +135,11 @@ class UtilizationTracker:
             return ResourceVector.zero()
         return ResourceVector(self._wu_lut / self._wc_lut, self._wu_ff / self._wc_ff)
 
+    def elapsed_ms(self) -> float:
+        """Observed span (now - attach time), advancing the integrals."""
+        self._advance()
+        return self._elapsed
+
     def mean_fabric_utilization(self) -> ResourceVector:
         """Mean usage over the whole fabric capacity, time-weighted."""
         self._advance()

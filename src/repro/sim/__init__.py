@@ -3,7 +3,7 @@
 from .engine import EmptySchedule, Engine
 from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
 from .resources import Request, Resource, Store
-from .rng import SeededStreams
+from .rng import SeededStreams, derive_seed
 from .trace import NULL_TRACER, TraceRecord, Tracer
 
 __all__ = [
@@ -22,4 +22,5 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "derive_seed",
 ]

@@ -71,7 +71,8 @@ class Resource:
     """
 
     __slots__ = ("engine", "capacity", "name", "_in_use", "_waiting",
-                 "_busy_time", "_last_change", "total_grants", "total_wait_time")
+                 "_busy_time", "_last_change", "total_grants", "total_wait_time",
+                 "total_abandoned", "abandon_misses")
 
     def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -86,6 +87,8 @@ class Resource:
         self._last_change = engine.now
         self.total_grants = 0
         self.total_wait_time = 0.0
+        self.total_abandoned = 0
+        self.abandon_misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -174,7 +177,14 @@ class Resource:
         try:
             self._waiting.remove(request)
         except ValueError:
-            pass
+            # A cancel for a request this resource is no longer holding.
+            # cancel() is idempotent and release() only discards requests
+            # that were already cancelled, so in a healthy simulation this
+            # never fires — count it instead of swallowing it so the
+            # invariant layer (and tests) can see the mismatch.
+            self.abandon_misses += 1
+        else:
+            self.total_abandoned += 1
 
     def _account(self) -> None:
         now = self.engine.now

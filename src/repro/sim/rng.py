@@ -9,14 +9,27 @@ reproducible ``random.Random`` per named consumer from one root seed.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from typing import Dict
+from typing import Dict, Union
+
+
+def derive_seed(root_seed: Union[int, str], name: str) -> int:
+    """A child seed derived from ``(root_seed, name)`` by a stable digest.
+
+    Built on SHA-256 rather than :func:`hash`: the builtin is salted by
+    ``PYTHONHASHSEED``, so a ``hash()``-derived seed is *not* reproducible
+    across interpreter processes — exactly the boundary campaign workers
+    and fleet shards cross.
+    """
+    digest = hashlib.sha256(f"{root_seed}/{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
 
 
 class SeededStreams:
     """A family of independent named RNG streams under one root seed."""
 
-    def __init__(self, root_seed: int) -> None:
+    def __init__(self, root_seed: Union[int, str]) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, random.Random] = {}
 
@@ -27,8 +40,13 @@ class SeededStreams:
         return self._streams[name]
 
     def spawn(self, name: str) -> "SeededStreams":
-        """A child family, itself deterministic under the root seed."""
-        return SeededStreams(hash((self.root_seed, name)) & 0x7FFFFFFF)
+        """A child family, itself deterministic under the root seed.
+
+        The child's root seed comes from :func:`derive_seed`, so spawning
+        the same name under the same root yields identical streams in
+        every process regardless of hash randomization.
+        """
+        return SeededStreams(derive_seed(self.root_seed, name))
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

@@ -24,6 +24,8 @@ from .fuzz import (
     FuzzCase,
     REPRO_KIND,
     ScenarioFuzzer,
+    cases_from_fleet_scenario,
+    cases_from_scenario,
     is_repro_payload,
     load_repro,
     parse_repro_payload,
@@ -53,6 +55,8 @@ __all__ = [
     "ReferenceEngine",
     "ScenarioFuzzer",
     "Violation",
+    "cases_from_fleet_scenario",
+    "cases_from_scenario",
     "instrumented_run",
     "is_repro_payload",
     "load_repro",

@@ -20,7 +20,15 @@ from pathlib import Path
 from typing import List
 
 from ..campaign.scenario import SYSTEM_REGISTRY, get_scenario
-from .fuzz import FuzzCase, ScenarioFuzzer, cases_from_scenario, save_repro, shrink_case
+from ..fleet import FLEET_SCENARIOS, get_fleet_scenario
+from .fuzz import (
+    FuzzCase,
+    ScenarioFuzzer,
+    cases_from_fleet_scenario,
+    cases_from_scenario,
+    save_repro,
+    shrink_case,
+)
 from .oracle import DifferentialOracle, DivergenceReport
 
 
@@ -113,12 +121,17 @@ def run_verify_command(args: argparse.Namespace) -> int:
         cases: List[FuzzCase] = list(fuzzer.cases(args.fuzz))
         banner = f"fuzzing {len(cases)} cases (seed {args.seed})"
     else:
+        name = args.scenario or "smoke"
         try:
-            scenario = get_scenario(args.scenario or "smoke")
+            if name in FLEET_SCENARIOS:
+                scenario = get_fleet_scenario(name)
+                cases = cases_from_fleet_scenario(scenario)
+            else:
+                scenario = get_scenario(name)
+                cases = cases_from_scenario(scenario)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-        cases = cases_from_scenario(scenario)
         if args.system:
             chosen = set(args.system)
             cases = [case for case in cases if case.system in chosen]

@@ -21,12 +21,20 @@ import dataclasses
 import json
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..apps.benchmarks import BENCHMARKS
 from ..campaign.scenario import SCENARIOS, SYSTEM_REGISTRY, Scenario, system_names
 from ..config import DEFAULT_PARAMETERS, SystemParameters
+from ..fleet import (
+    FLEET_SCENARIOS,
+    FleetScenario,
+    FleetWorkload,
+    partition_arrivals,
+    policy_names,
+)
 from ..workloads.generator import Arrival, Condition, WorkloadSpec
 
 #: Marker distinguishing repro files from RunRecord JSONL results.
@@ -51,6 +59,27 @@ SAFE_OVERRIDES: Dict[str, Tuple[float, ...]] = {
 }
 
 
+@lru_cache(maxsize=64)
+def _fleet_dispatch_plan(
+    workload: FleetWorkload,
+    n_shards: int,
+    policy: str,
+    seed: int,
+    sequence_index: int,
+) -> Tuple[Tuple[Arrival, ...], ...]:
+    """Memoized dispatch plan shared by a fleet scenario's shard cases.
+
+    A fleet sweep enumerates one case per shard of the same deployment;
+    without the memo every case would regenerate the full global stream
+    and re-route it (O(shards²) partitions per sweep).
+    """
+    stream = workload.arrivals(seed, sequence_index)
+    return tuple(
+        tuple(shard)
+        for shard in partition_arrivals(stream, n_shards, policy, seed)
+    )
+
+
 @dataclass(frozen=True)
 class FuzzCase:
     """One oracle-checkable cell: a system, a seeded workload, parameters."""
@@ -67,14 +96,29 @@ class FuzzCase:
     overrides: Tuple[Tuple[str, float], ...] = ()
     #: The registered scenario this case was derived from (label only).
     scenario: str = "fuzz"
+    #: Fleet shape: ``n_shards == 0`` means a plain single-cluster case;
+    #: otherwise the case checks shard ``shard`` of an ``n_shards``-wide
+    #: fleet whose global ``fleet_kind`` stream is routed by ``policy``.
+    n_shards: int = 0
+    policy: str = ""
+    shard: int = 0
+    fleet_kind: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", tuple(self.apps))
         object.__setattr__(
             self, "overrides", tuple(tuple(pair) for pair in self.overrides)
         )
+        if self.n_shards and not 0 <= self.shard < self.n_shards:
+            raise ValueError(
+                f"shard {self.shard} outside [0, {self.n_shards})"
+            )
 
     # ------------------------------------------------------------------
+    @property
+    def is_fleet(self) -> bool:
+        return self.n_shards > 0
+
     def workload(self) -> WorkloadSpec:
         return WorkloadSpec(
             condition=Condition[self.condition],
@@ -84,7 +128,25 @@ class FuzzCase:
             apps=self.apps,
         )
 
+    def fleet_workload(self) -> FleetWorkload:
+        return FleetWorkload(
+            kind=self.fleet_kind or "uniform",
+            condition=Condition[self.condition],
+            n_apps=self.n_apps,
+            batch_range=(self.batch_lo, self.batch_hi),
+            apps=self.apps,
+        )
+
     def arrivals(self) -> List[Arrival]:
+        if self.is_fleet:
+            shards = _fleet_dispatch_plan(
+                self.fleet_workload(),
+                self.n_shards,
+                self.policy or "hash",
+                self.seed,
+                self.sequence_index,
+            )
+            return list(shards[self.shard])
         return self.workload().sequence(self.seed, self.sequence_index)
 
     def params(self) -> SystemParameters:
@@ -101,6 +163,11 @@ class FuzzCase:
             f"batch [{self.batch_lo}, {self.batch_hi}]",
             f"seed {self.seed}/{self.sequence_index}",
         ]
+        if self.is_fleet:
+            parts.append(
+                f"fleet {self.fleet_kind or 'uniform'} "
+                f"shard {self.shard}/{self.n_shards} via {self.policy or 'hash'}"
+            )
         if self.overrides:
             parts.append(
                 "overrides "
@@ -166,6 +233,41 @@ def cases_from_scenario(scenario: Scenario) -> List[FuzzCase]:
     return cases
 
 
+def cases_from_fleet_scenario(scenario: FleetScenario) -> List[FuzzCase]:
+    """The exhaustive oracle cells of one fleet scenario: every shard.
+
+    Enumeration mirrors :meth:`repro.fleet.Fleet.cells` (seed-major, then
+    shard), so ``repro verify --scenario fleet-X`` checks exactly the
+    cells ``repro fleet run fleet-X`` simulates — each shard's sub-stream
+    on both kernels.
+    """
+    workload = scenario.workload
+    lo, hi = workload.batch_range
+    cases: List[FuzzCase] = []
+    for seed in scenario.seeds:
+        for shard in range(scenario.n_shards):
+            cases.append(
+                FuzzCase(
+                    case_id=len(cases),
+                    system=scenario.system,
+                    condition=workload.condition.name,
+                    n_apps=workload.n_apps,
+                    batch_lo=lo,
+                    batch_hi=hi,
+                    seed=seed,
+                    sequence_index=0,
+                    apps=workload.apps,
+                    overrides=scenario.overrides,
+                    scenario=scenario.name,
+                    n_shards=scenario.n_shards,
+                    policy=scenario.policy,
+                    shard=shard,
+                    fleet_kind=workload.kind,
+                )
+            )
+    return cases
+
+
 class ScenarioFuzzer:
     """Deterministic sampler of :class:`FuzzCase` s over the registry."""
 
@@ -177,9 +279,14 @@ class ScenarioFuzzer:
         max_apps: int = 6,
         max_batch: int = 12,
     ) -> None:
-        if scenario is not None and scenario not in SCENARIOS:
+        if (
+            scenario is not None
+            and scenario not in SCENARIOS
+            and scenario not in FLEET_SCENARIOS
+        ):
             raise KeyError(
-                f"unknown scenario {scenario!r}; available: {', '.join(SCENARIOS)}"
+                f"unknown scenario {scenario!r}; available: "
+                f"{', '.join((*SCENARIOS, *FLEET_SCENARIOS))}"
             )
         unknown = [name for name in (systems or ()) if name not in SYSTEM_REGISTRY]
         if unknown:
@@ -196,7 +303,9 @@ class ScenarioFuzzer:
     def case(self, index: int) -> FuzzCase:
         """Sample case ``index`` (independent of every other index)."""
         rng = random.Random(f"verify-fuzz/{self.seed}/{index}")
-        name = self.scenario or rng.choice(list(SCENARIOS))
+        name = self.scenario or rng.choice([*SCENARIOS, *FLEET_SCENARIOS])
+        if name in FLEET_SCENARIOS:
+            return self._fleet_case(index, rng, FLEET_SCENARIOS[name])
         template = SCENARIOS[name]
         pool = self.systems or template.system_names() or tuple(system_names())
         system = rng.choice(list(pool))
@@ -230,6 +339,52 @@ class ScenarioFuzzer:
             scenario=name,
         )
 
+    def _fleet_case(
+        self, index: int, rng: random.Random, template: FleetScenario
+    ) -> FuzzCase:
+        """Sample one shard of a perturbed fleet deployment.
+
+        The fleet shape roams around the template — shard count, routing
+        policy and the checked shard all vary — while ``n_apps`` sizes the
+        *global* stream, so the shard under test sees a routed sub-stream.
+        """
+        system = rng.choice(list(self.systems)) if self.systems else template.system
+        if rng.random() < 0.25:
+            condition = rng.choice(list(Condition)).name
+        else:
+            condition = template.workload.condition.name
+        n_shards = rng.randint(2, max(2, template.n_shards))
+        if rng.random() < 0.25:
+            policy = rng.choice(policy_names())
+        else:
+            policy = template.policy
+        shard = rng.randrange(n_shards)
+        n_apps = rng.randint(
+            1, min(2 * self.max_apps, template.workload.n_apps)
+        )
+        batch_lo = rng.randint(1, 4)
+        batch_hi = batch_lo + rng.randint(0, self.max_batch - batch_lo)
+        overrides = dict(template.overrides)
+        for _ in range(rng.randint(0, 2)):
+            key = rng.choice(sorted(SAFE_OVERRIDES))
+            overrides[key] = rng.choice(SAFE_OVERRIDES[key])
+        return FuzzCase(
+            case_id=index,
+            system=system,
+            condition=condition,
+            n_apps=n_apps,
+            batch_lo=batch_lo,
+            batch_hi=batch_hi,
+            seed=rng.randrange(10_000),
+            sequence_index=rng.randrange(2),
+            overrides=tuple(sorted(overrides.items())),
+            scenario=template.name,
+            n_shards=n_shards,
+            policy=policy,
+            shard=shard,
+            fleet_kind=template.workload.kind,
+        )
+
     def cases(self, count: int) -> Iterator[FuzzCase]:
         for index in range(count):
             yield self.case(index)
@@ -242,9 +397,26 @@ class ScenarioFuzzer:
 
 def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
     """Strictly simpler variants of ``case``, most aggressive first."""
+    if case.is_fleet:
+        # Drop the fleet wrapping entirely: the full (unrouted) stream on
+        # one cluster is the simplest variant of a shard case.
+        yield dataclasses.replace(
+            case, n_shards=0, policy="", shard=0, fleet_kind=""
+        )
     for n_apps in sorted({1, case.n_apps // 2, case.n_apps - 1}):
         if 1 <= n_apps < case.n_apps:
             yield dataclasses.replace(case, n_apps=n_apps)
+    if case.is_fleet:
+        if case.n_shards > 2:
+            yield dataclasses.replace(
+                case, n_shards=2, shard=min(case.shard, 1)
+            )
+        if case.shard:
+            yield dataclasses.replace(case, shard=0)
+        if case.fleet_kind not in ("", "uniform"):
+            yield dataclasses.replace(case, fleet_kind="uniform")
+        if case.policy not in ("", "hash"):
+            yield dataclasses.replace(case, policy="hash")
     for batch_hi in sorted({case.batch_lo, (case.batch_lo + case.batch_hi) // 2}):
         if case.batch_lo <= batch_hi < case.batch_hi:
             yield dataclasses.replace(case, batch_hi=batch_hi)

@@ -199,6 +199,11 @@ def check_resources(board: FPGABoard) -> List[str]:
                 f"resource {resource.name!r}: busy fraction {fraction} "
                 f"outside [0, 1]"
             )
+        if resource.abandon_misses:
+            problems.append(
+                f"resource {resource.name!r}: {resource.abandon_misses} "
+                "cancel(s) for requests the resource was not holding"
+            )
     return problems
 
 

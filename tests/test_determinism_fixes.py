@@ -1,0 +1,166 @@
+"""Regression tests for the cross-process determinism bugs.
+
+Two bugs made "deterministic" state silently process-local:
+
+* ``SeededStreams.spawn`` derived child seeds from the builtin ``hash()``,
+  which is salted by ``PYTHONHASHSEED`` — two worker processes spawning
+  the same child name drew *different* streams;
+* ``ApplicationSpec._bundle_times`` was keyed by ``id(bundle)``, so a spec
+  pickled into a multiprocessing worker missed its cache on every
+  scheduling-hot-path lookup (and silently recomputed).
+
+Both now derive from process-independent identities (SHA-256 digest,
+bundle index); these tests pin that across real process boundaries.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps.benchmarks import BENCHMARKS
+from repro.config import DEFAULT_PARAMETERS
+from repro.fpga.board import FPGABoard
+from repro.fpga.slots import BoardConfig
+from repro.sim import Engine, Resource, SeededStreams, derive_seed
+from repro.verify.invariants import check_resources
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# SeededStreams.spawn across interpreter processes
+# ----------------------------------------------------------------------
+class TestSpawnDeterminism:
+    def _spawned_samples(self, hashseed: str) -> str:
+        """First draws of a spawned family, from a fresh interpreter."""
+        script = (
+            "from repro.sim import SeededStreams\n"
+            "child = SeededStreams(7).spawn('worker')\n"
+            "print(child.root_seed)\n"
+            "print([round(child.stream('pcap').random(), 12) for _ in range(4)])\n"
+            "print([child.stream('partition').randrange(1000) for _ in range(4)])\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return result.stdout
+
+    def test_spawn_identical_across_hash_seeds(self):
+        """The regression: hash() derivation diverged between processes
+        with different PYTHONHASHSEED; the digest derivation must not."""
+        outputs = {seed: self._spawned_samples(seed) for seed in ("0", "4242", "random")}
+        assert outputs["0"] == outputs["4242"] == outputs["random"]
+
+    def test_subprocess_matches_in_process_streams(self):
+        child = SeededStreams(7).spawn("worker")
+        expected = (
+            f"{child.root_seed}\n"
+            f"{[round(child.stream('pcap').random(), 12) for _ in range(4)]}\n"
+            f"{[child.stream('partition').randrange(1000) for _ in range(4)]}\n"
+        )
+        assert self._spawned_samples("random") == expected
+
+    def test_derive_seed_is_pinned(self):
+        """Freeze the digest scheme: changing it would invalidate every
+        persisted fleet/campaign artifact derived from spawned streams."""
+        assert derive_seed(7, "worker") == 1702380594
+        assert derive_seed("7/worker", "x") != derive_seed("7/worker", "y")
+        assert 0 <= derive_seed(0, "") <= 0x7FFFFFFF
+
+    def test_spawn_chains_are_stable(self):
+        a = SeededStreams(1).spawn("fleet-router").spawn("shard3")
+        b = SeededStreams(1).spawn("fleet-router").spawn("shard3")
+        assert a.root_seed == b.root_seed
+        assert a.stream("p2c").random() == b.stream("p2c").random()
+
+
+# ----------------------------------------------------------------------
+# ApplicationSpec bundle-times cache across pickling
+# ----------------------------------------------------------------------
+class TestBundleTimesCache:
+    @pytest.fixture
+    def spec(self):
+        spec = BENCHMARKS["IC"]
+        assert spec.can_bundle
+        return spec
+
+    def test_cache_hit_returns_precomputed_tuple(self, spec):
+        bundle = spec.bundles[0]
+        times = spec.bundle_exec_times(bundle)
+        assert times == tuple(spec.tasks[i].exec_time_ms for i in bundle.task_indices)
+        # Identity, not equality: a recompute would allocate a new tuple.
+        assert times is spec._bundle_times[bundle.index]
+
+    def test_cache_survives_pickle_round_trip(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        for bundle in clone.bundles:
+            times = clone.bundle_exec_times(bundle)
+            # The regression: the id()-keyed cache went stale across the
+            # pickle boundary and every lookup silently recomputed.
+            assert times is clone._bundle_times[bundle.index]
+            assert times == spec.bundle_exec_times(spec.bundles[bundle.index])
+
+    def test_unpickled_spec_serves_original_bundles(self, spec):
+        """Equal-but-not-identical bundles (the worker case) still hit."""
+        clone = pickle.loads(pickle.dumps(spec))
+        times = clone.bundle_exec_times(spec.bundles[0])
+        assert times is clone._bundle_times[0]
+
+    def test_foreign_bundle_is_loudly_rejected(self, spec):
+        other = BENCHMARKS["AN"]
+        assert other.can_bundle
+        foreign = other.bundles[0]
+        with pytest.raises(ValueError, match="does not belong"):
+            spec.bundle_exec_times(foreign)
+
+
+# ----------------------------------------------------------------------
+# Resource._abandon reporting
+# ----------------------------------------------------------------------
+def _holder(engine, resource, duration):
+    request = resource.acquire()
+    yield request
+    yield engine.timeout(duration)
+    resource.release()
+
+
+class TestAbandonReporting:
+    def test_cancel_while_waiting_is_counted(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1, name="core")
+        engine.process(_holder(engine, resource, 10.0))
+        engine.run(until=1.0)
+        waiting = resource.acquire()
+        assert resource.queue_length == 1
+        waiting.cancel()
+        assert resource.queue_length == 0
+        assert resource.total_abandoned == 1
+        assert resource.abandon_misses == 0
+        engine.run()
+        assert resource.in_use == 0
+
+    def test_missing_waiter_is_reported_not_swallowed(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1, name="core")
+        engine.process(_holder(engine, resource, 10.0))
+        engine.run(until=1.0)
+        waiting = resource.acquire()
+        resource._abandon(waiting)       # legitimate removal
+        resource._abandon(waiting)       # stale: no longer held
+        assert resource.total_abandoned == 1
+        assert resource.abandon_misses == 1
+
+    def test_invariant_layer_flags_abandon_misses(self):
+        engine = Engine()
+        board = FPGABoard(engine, BoardConfig.ONLY_LITTLE, DEFAULT_PARAMETERS)
+        assert check_resources(board) == []
+        board.ps.cores[0].abandon_misses = 2
+        problems = check_resources(board)
+        assert any("not holding" in problem for problem in problems)

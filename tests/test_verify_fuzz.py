@@ -74,7 +74,17 @@ class TestScenarioFuzzer:
     def test_sampled_cases_are_runnable(self):
         for case in ScenarioFuzzer(11).cases(4):
             arrivals = case.arrivals()
-            assert len(arrivals) == case.n_apps
+            if case.is_fleet:
+                # A fleet case checks one routed shard: its sub-stream is
+                # a subset of the n_apps-wide global stream.
+                assert len(arrivals) <= case.n_apps
+                full = case.fleet_workload().arrivals(
+                    case.seed, case.sequence_index
+                )
+                assert len(full) == case.n_apps
+                assert all(arrival in full for arrival in arrivals)
+            else:
+                assert len(arrivals) == case.n_apps
             assert all(
                 case.batch_lo <= arrival.batch_size <= case.batch_hi
                 for arrival in arrivals
