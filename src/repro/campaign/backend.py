@@ -23,6 +23,11 @@ from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..fpga.board import FPGABoard
 from ..schedulers.base import SchedulerStats
 from ..sim import Engine, Tracer
+from ..telemetry import (
+    JsonlEventLogSink,
+    StreamingAggregationSink,
+    TelemetryBus,
+)
 from ..workloads.generator import Arrival, WorkloadSpec, drive
 from .results import COUNTER_FIELDS, RunRecord, fingerprint_parameters
 from .scenario import get_system
@@ -99,12 +104,15 @@ def simulate_run(
     engine_factory: Optional[Callable[[], Engine]] = None,
     tracer: Optional[Tracer] = None,
     instruments: Iterable[Instrument] = (),
+    telemetry: Optional[TelemetryBus] = None,
 ) -> SimulationOutcome:
     """Simulate ``system`` serving ``arrivals`` on a fresh board.
 
     ``engine_factory`` swaps the simulation kernel (the verify layer runs
-    the same cell on the optimized and the reference kernel); ``tracer``
-    and ``instruments`` attach observability before the workload starts.
+    the same cell on the optimized and the reference kernel); ``tracer``,
+    ``telemetry`` and ``instruments`` attach observability before the
+    workload starts.  Attach every sink to the bus before passing it in:
+    slot observation is only installed when a sink wants slot events.
     """
     spec = get_system(system)
     resolved = params if params is not None else DEFAULT_PARAMETERS
@@ -118,6 +126,9 @@ def simulate_run(
         scheduler = spec.factory(board, resolved, tracer=tracer)
     else:
         scheduler = spec.factory(board, resolved)
+    if telemetry is not None:
+        scheduler.telemetry = telemetry
+        telemetry.observe_board(board)
     for instrument in instruments:
         instrument(engine, board, scheduler)
     engine.process(drive(engine, scheduler, arrivals))
@@ -132,10 +143,9 @@ def simulate_run(
     # ``engine.run(until=...)`` parks the clock at the horizon; the last
     # completion is the simulation's actual makespan (an empty arrival
     # list — a fleet shard the router sent nothing to — has makespan 0).
-    makespan = max(
-        (record.finish_time for record in stats.responses), default=0.0
+    return SimulationOutcome(
+        system=system, stats=stats, makespan_ms=stats.last_finish_ms
     )
-    return SimulationOutcome(system=system, stats=stats, makespan_ms=makespan)
 
 
 @dataclass(frozen=True)
@@ -164,6 +174,12 @@ class CampaignCell:
     #: Condition label for explicit-arrival cells (a cell regenerating
     #: from ``workload`` derives the label from the spec instead).
     condition_label: str = ""
+    #: Persist raw per-request response samples on the record (opt-in via
+    #: ``--raw-samples``); the default keeps only the O(1)-memory digest.
+    keep_raw_samples: bool = False
+    #: When set, the worker writes this cell's full typed event stream as
+    #: a replayable JSONL log at this path.
+    events_path: Optional[str] = None
 
     def engine_factory(self) -> Optional[Callable[[], Engine]]:
         """Engine factory for this cell's kernel (None = default kernel)."""
@@ -201,14 +217,45 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
 
         trackers["utilization"] = UtilizationTracker(board)
 
-    outcome = simulate_run(
-        cell.system,
-        arrivals,
-        cell.params,
-        horizon_ms=cell.horizon_ms,
-        engine_factory=cell.engine_factory(),
-        instruments=(attach_tracker,),
-    )
+    def configure_retention(engine, board, scheduler) -> None:
+        # Digest-only cells never materialize per-request records: the
+        # completion stream feeds the digest sink instead, so memory per
+        # cell is O(1) in the number of requests.
+        scheduler.stats.retain_responses = cell.keep_raw_samples
+
+    # The telemetry spine: a completion-only aggregation sink builds the
+    # record's response digest online (zero launch-path overhead), and an
+    # optional event-log sink persists the full replayable stream.
+    bus = TelemetryBus()
+    aggregate = StreamingAggregationSink(kinds=("completion",))
+    bus.attach(aggregate)
+    if cell.events_path:
+        bus.attach(
+            JsonlEventLogSink(
+                cell.events_path,
+                meta={
+                    "scenario": cell.scenario,
+                    "system": cell.system,
+                    "sequence_index": cell.sequence_index,
+                    "seed": cell.seed,
+                    "kernel": cell.kernel,
+                    "shard": cell.shard,
+                    "n_apps": len(arrivals),
+                },
+            )
+        )
+    try:
+        outcome = simulate_run(
+            cell.system,
+            arrivals,
+            cell.params,
+            horizon_ms=cell.horizon_ms,
+            engine_factory=cell.engine_factory(),
+            instruments=(attach_tracker, configure_retention),
+            telemetry=bus,
+        )
+    finally:
+        bus.close()
     stats = outcome.stats
     if cell.workload is not None:
         condition = cell.workload.condition.label
@@ -235,6 +282,7 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
             "occupied_lut": 0.0, "occupied_ff": 0.0,
             "fabric_lut": 0.0, "fabric_ff": 0.0, "elapsed_ms": 0.0,
         }
+    digest = aggregate.digest
     return RunRecord(
         scenario=cell.scenario,
         system=cell.system,
@@ -243,11 +291,14 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
         seed=cell.seed,
         n_apps=len(arrivals),
         makespan_ms=outcome.makespan_ms,
-        response_times_ms=stats.response_times_ms(),
+        response_times_ms=(
+            stats.response_times_ms() if cell.keep_raw_samples else []
+        ),
         counters={name: getattr(stats, name) for name in COUNTER_FIELDS},
         fingerprint=fingerprint_parameters(cell.params),
         shard=cell.shard,
         utilization=utilization,
+        response_digest=digest.to_dict() if digest.count else {},
     )
 
 

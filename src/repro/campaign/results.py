@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from dataclasses import MISSING, asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..config import SystemParameters
+from ..telemetry.digest import ResponseDigest
 
 #: Bumped whenever the on-disk record shape changes incompatibly.
 SCHEMA_VERSION = 1
@@ -65,6 +68,10 @@ class RunRecord:
     #: Time-weighted utilization aggregates of the run (occupied-slot and
     #: whole-fabric LUT/FF means plus the elapsed weight for rollups).
     utilization: Dict[str, float] = field(default_factory=dict)
+    #: Serialized :class:`~repro.telemetry.digest.ResponseDigest` — the
+    #: compact default representation of the run's response distribution.
+    #: Raw ``response_times_ms`` are only persisted with ``--raw-samples``.
+    response_digest: Dict[str, object] = field(default_factory=dict)
     schema: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, object]:
@@ -88,46 +95,136 @@ class RunRecord:
             raise ValueError(f"record is missing fields: {', '.join(missing)}")
         return cls(**{k: v for k, v in payload.items() if k in fields})
 
+    def digest(self) -> Optional[ResponseDigest]:
+        """The record's response digest, or None when it carries none."""
+        if not self.response_digest:
+            return None
+        return ResponseDigest.from_dict(self.response_digest)
+
+    def response_summary(self) -> ResponseDigest:
+        """One digest over whatever response data the record has.
+
+        Returns the stored digest when present (for records that also
+        carry raw samples it is bit-identical to a digest built from
+        them — both fold the same completion stream); raw-only records
+        build one on the fly.  Callers needing *exact* percentiles should
+        branch on ``response_times_ms`` themselves, as
+        ``record_to_run_result`` does.
+        """
+        digest = self.digest()
+        if digest is not None:
+            return digest
+        pooled = ResponseDigest()
+        pooled.extend(self.response_times_ms)
+        return pooled
+
     def mean_response_ms(self) -> float:
-        if not self.response_times_ms:
-            raise ValueError(f"record {self.scenario}/{self.system} has no samples")
-        return sum(self.response_times_ms) / len(self.response_times_ms)
+        if self.response_times_ms:
+            return sum(self.response_times_ms) / len(self.response_times_ms)
+        digest = self.digest()
+        if digest is not None and digest.count:
+            # The digest's running sum adds samples in the same order the
+            # raw list would, so this mean is bit-identical to the raw
+            # computation above.
+            return digest.mean()
+        raise ValueError(f"record {self.scenario}/{self.system} has no samples")
 
 
 class ResultsStore:
-    """Append-oriented JSONL store for :class:`RunRecord` files."""
+    """Crash-safe, append-oriented JSONL store for :class:`RunRecord` files.
+
+    * :meth:`write` replaces the file atomically (write-to-temp +
+      ``os.replace``), so a reader never observes a half-written file.
+    * :meth:`extend` flushes and fsyncs the whole batch before returning,
+      so a killed worker can lose at most its *own* unflushed batch — and
+      only as a truncated final line, never a corrupted interior one.
+    * :meth:`load` detects a truncated trailing line, skips it with a
+      warning, and keeps every intact record before it; malformed
+      *interior* lines still raise (those are corruption, not a crash).
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
 
     def write(self, records: Iterable[RunRecord]) -> Path:
-        """Replace the file's contents with ``records``."""
+        """Atomically replace the file's contents with ``records``."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("w", encoding="utf-8") as handle:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
             for record in records:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
         return self.path
 
     def extend(self, records: Iterable[RunRecord]) -> Path:
-        """Append ``records`` to the file, creating it if needed."""
+        """Durably append ``records`` to the file, creating it if needed.
+
+        If a previous writer died mid-line (file not newline-terminated),
+        the partial trailing line is repaired *before* appending —
+        otherwise the new first record would merge into it and corrupt
+        the file for every later read.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_truncated_tail()
         with self.path.open("a", encoding="utf-8") as handle:
             for record in records:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         return self.path
 
+    def _repair_truncated_tail(self) -> None:
+        """Make an existing file newline-terminated before appending.
+
+        A trailing fragment that parses as JSON (e.g. a hand-edited file
+        merely missing its final newline) is kept and terminated; one
+        that does not — the crash artifact ``load`` would skip — is cut.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            cut = data.rfind(b"\n") + 1
+            fragment = data[cut:]
+            try:
+                json.loads(fragment.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                warnings.warn(
+                    f"{self.path}: dropping truncated trailing record "
+                    "before append (interrupted writer?)",
+                    stacklevel=3,
+                )
+                handle.truncate(cut)
+            else:
+                handle.write(b"\n")
+
     def load(self) -> List[RunRecord]:
-        """All records in file order."""
+        """All records in file order (tolerating a truncated final line).
+
+        Streams through :func:`~repro.telemetry.replay.iter_jsonl_payloads`,
+        the shared crash-tolerant reader: malformed interior lines raise
+        with their location, a truncated trailing line (interrupted
+        writer) is skipped with a warning.
+        """
+        from ..telemetry.replay import iter_jsonl_payloads
+
         records: List[RunRecord] = []
         with self.path.open("r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
+            for line_no, payload in iter_jsonl_payloads(
+                handle, self.path, what="record"
+            ):
                 try:
-                    payload = json.loads(line)
                     records.append(RunRecord.from_dict(payload))
-                except (json.JSONDecodeError, ValueError) as exc:
+                except ValueError as exc:
                     raise ValueError(
                         f"{self.path}:{line_no}: malformed record ({exc})"
                     ) from None
@@ -137,6 +234,40 @@ class ResultsStore:
 def load_records(path: Union[str, Path]) -> List[RunRecord]:
     """Convenience loader used by the CLI ``replay`` command."""
     return ResultsStore(path).load()
+
+
+def merged_response_summary(records: Iterable[RunRecord]):
+    """Pooled response summary of many records.
+
+    When *every* record carries raw samples the pool is an exact
+    :class:`~repro.metrics.response.ResponseStats`; otherwise the shards'
+    digests merge into one :class:`ResponseDigest` — O(1) memory instead
+    of concatenating per-request lists.  Both expose the same ``count`` /
+    ``mean()`` / ``percentile()`` surface.
+    """
+    records = list(records)
+    # A record is "raw-carrying" when it has samples — or nothing at all
+    # (a shard that completed zero requests constrains neither mode).
+    # Only a digest-without-samples record forces the digest path, so
+    # --raw-samples runs stay exact even when one shard came up empty.
+    if records and all(
+        r.response_times_ms or not r.response_digest for r in records
+    ):
+        from ..metrics.response import ResponseStats  # lazy: avoids a cycle
+
+        pooled = ResponseStats()
+        for record in records:
+            pooled.extend(record.response_times_ms)
+        return pooled
+    merged = ResponseDigest()
+    for record in records:
+        if record.response_times_ms:
+            merged.extend(record.response_times_ms)
+        else:
+            digest = record.digest()
+            if digest is not None:
+                merged.merge(digest)
+    return merged
 
 
 def group_by_system(records: Iterable[RunRecord]) -> Dict[str, List[RunRecord]]:

@@ -26,12 +26,19 @@ class CampaignRunner:
         backend=None,
         store: Optional[Union[ResultsStore, str, Path]] = None,
         base_params: Optional[SystemParameters] = None,
+        raw_samples: bool = False,
+        events_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.backend = backend if backend is not None else make_backend(jobs)
         if store is not None and not isinstance(store, ResultsStore):
             store = ResultsStore(store)
         self.store = store
         self.base_params = base_params
+        #: Persist raw per-request samples on records (``--raw-samples``);
+        #: off by default — records carry the bounded-memory digest.
+        self.raw_samples = raw_samples
+        #: When set, every cell writes its typed event stream under here.
+        self.events_dir = Path(events_dir) if events_dir is not None else None
 
     def cells_for(self, scenario: Scenario) -> List[CampaignCell]:
         """Enumerate a scenario into cells, sequence-major then system.
@@ -45,6 +52,12 @@ class CampaignRunner:
         for seed in scenario.seeds:
             for index in range(scenario.workload.sequence_count):
                 for system in scenario.system_names():
+                    events_path = None
+                    if self.events_dir is not None:
+                        events_path = str(
+                            self.events_dir
+                            / f"{scenario.name}-{system}-seed{seed}-seq{index}.jsonl"
+                        )
                     cells.append(
                         CampaignCell(
                             scenario=scenario.name,
@@ -53,6 +66,8 @@ class CampaignRunner:
                             seed=seed,
                             params=params,
                             workload=scenario.workload,
+                            keep_raw_samples=self.raw_samples,
+                            events_path=events_path,
                         )
                     )
         return cells

@@ -15,6 +15,8 @@ parallel backend, and replays persisted results:
     python -m repro fleet list
     python -m repro fleet run fleet-diurnal --shards 4 --jobs 4
     python -m repro replay results/fig5.jsonl --figure fig5
+    python -m repro campaign run smoke --events-dir results/events
+    python -m repro telemetry summarize results/events/smoke-FCFS-seed1-seq0.jsonl
     python -m repro verify --fuzz 50 --seed 0
     python -m repro bench --quick --baseline BENCH_kernel.json
     python -m repro list
@@ -23,6 +25,7 @@ parallel backend, and replays persisted results:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -46,7 +49,12 @@ from .experiments import (
 from .fleet import Fleet, fleet_scenario_names, get_fleet_scenario
 from .experiments.runner import SYSTEMS
 from .metrics.plots import bar_chart, trace_plot
-from .metrics.report import summarize_records
+from .metrics.report import format_table, summarize_records
+from .telemetry import (
+    EVENT_TYPES,
+    sniff_event_log,
+    summarize_event_log,
+)
 from .verify.cli import add_verify_arguments, run_verify_command
 from .verify.fuzz import parse_repro_payload, replay_case, sniff_repro_file
 
@@ -88,7 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser("campaign", help="run registered scenario campaigns")
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
-    campaign_sub.add_parser("list", help="list registered scenarios")
+    campaign_list = campaign_sub.add_parser("list", help="list registered scenarios")
+    campaign_list.add_argument("--json", action="store_true",
+                               help="machine-readable JSON instead of a table")
     run = campaign_sub.add_parser("run", help="run one registered scenario")
     run.add_argument("scenario", help="registered scenario name")
     run.add_argument("--sequences", type=int, default=None,
@@ -97,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the scenario's per-sequence app count")
     run.add_argument("--seed", type=int, default=None,
                      help="replace the scenario's seed set with one seed")
+    run.add_argument("--raw-samples", action="store_true",
+                     help="persist raw per-request response samples on each "
+                          "record (default: compact bounded-memory digest)")
+    run.add_argument("--events-dir", type=str, default=None, metavar="DIR",
+                     help="write each cell's typed telemetry event stream as "
+                          "a replayable JSONL log under DIR")
     add_parallel_options(run)
     campaign_replay = campaign_sub.add_parser(
         "replay",
@@ -114,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="run sharded multi-cluster fleet scenarios"
     )
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
-    fleet_sub.add_parser("list", help="list registered fleet scenarios")
+    fleet_list = fleet_sub.add_parser("list", help="list registered fleet scenarios")
+    fleet_list.add_argument("--json", action="store_true",
+                            help="machine-readable JSON instead of a table")
     fleet_run = fleet_sub.add_parser("run", help="run one fleet scenario")
     fleet_run.add_argument("scenario", help="registered fleet scenario name")
     fleet_run.add_argument("--shards", type=int, default=None,
@@ -123,7 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="override the global arrival-stream size")
     fleet_run.add_argument("--seed", type=int, default=None,
                            help="replace the scenario's seed set with one seed")
+    fleet_run.add_argument("--raw-samples", action="store_true",
+                           help="persist raw per-request samples per shard "
+                                "record (default: mergeable digests)")
+    fleet_run.add_argument("--events-dir", type=str, default=None, metavar="DIR",
+                           help="write admission + per-shard telemetry event "
+                                "logs under DIR")
     add_parallel_options(fleet_run)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="inspect and replay typed telemetry event logs",
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    summarize = telemetry_sub.add_parser(
+        "summarize",
+        help="re-derive response statistics and counters from an event log",
+    )
+    summarize.add_argument("path", help="JSONL event log written by --events-dir")
+    summarize.add_argument("--json", action="store_true",
+                           help="machine-readable JSON instead of a table")
+    schema = telemetry_sub.add_parser(
+        "schema", help="list the typed event kinds and their fields"
+    )
+    schema.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of a table")
 
     verify = sub.add_parser(
         "verify",
@@ -168,6 +210,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "replay":
         return _cmd_replay(args)
     if args.campaign_command == "list":
+        if args.json:
+            entries = []
+            for name in scenario_names():
+                scenario = get_scenario(name)
+                entries.append({
+                    "name": name,
+                    "systems": list(scenario.system_names()),
+                    "sequences": scenario.workload.sequence_count,
+                    "seeds": list(scenario.seeds),
+                    "condition": scenario.workload.condition.label,
+                    "n_apps": scenario.workload.n_apps,
+                    "description": scenario.description,
+                })
+            print(json.dumps(entries, indent=1))
+            return 0
         for name in scenario_names():
             scenario = get_scenario(name)
             workload = scenario.workload
@@ -190,15 +247,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _operator_error(exc)
     out = args.out if args.out else f"results/{scenario.name}.jsonl"
     store = ResultsStore(out)
-    runner = CampaignRunner(jobs=args.jobs, store=store)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        store=store,
+        raw_samples=args.raw_samples,
+        events_dir=args.events_dir,
+    )
     records = runner.run(scenario)
     print(summarize_records(records))
     print(f"\n{len(records)} records appended to {store.path}")
+    if args.events_dir:
+        print(f"telemetry event logs written under {args.events_dir}")
     return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "list":
+        if args.json:
+            entries = []
+            for name in fleet_scenario_names():
+                scenario = get_fleet_scenario(name)
+                entries.append({
+                    "name": name,
+                    "system": scenario.system,
+                    "n_shards": scenario.n_shards,
+                    "policy": scenario.policy,
+                    "seeds": list(scenario.seeds),
+                    "workload": scenario.workload.kind,
+                    "condition": scenario.workload.condition.label,
+                    "n_apps": scenario.workload.n_apps,
+                    "description": scenario.description,
+                })
+            print(json.dumps(entries, indent=1))
+            return 0
         for name in fleet_scenario_names():
             scenario = get_fleet_scenario(name)
             workload = scenario.workload
@@ -220,9 +301,60 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return _operator_error(exc)
     out = args.out if args.out else f"results/{scenario.name}.jsonl"
     store = ResultsStore(out)
-    result = Fleet(scenario).run(jobs=args.jobs, store=store)
+    result = Fleet(scenario).run(
+        jobs=args.jobs,
+        store=store,
+        keep_raw_samples=args.raw_samples,
+        events_dir=args.events_dir,
+    )
     print(result.rollup.table())
     print(f"\n{len(result.records)} shard records appended to {store.path}")
+    if args.events_dir:
+        print(f"telemetry event logs written under {args.events_dir}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "schema":
+        if args.json:
+            print(json.dumps(
+                {kind: list(cls._fields) for kind, cls in EVENT_TYPES.items()},
+                indent=1,
+            ))
+            return 0
+        print(format_table(
+            ["kind", "fields"],
+            [[kind, ", ".join(cls._fields)] for kind, cls in EVENT_TYPES.items()],
+            title="Telemetry event schema (every event also carries `t`, ms)",
+        ))
+        return 0
+    try:
+        summary = summarize_event_log(args.path)
+    except (ValueError, FileNotFoundError) as exc:
+        return _operator_error(exc)
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    meta = summary.get("meta") or {}
+    if meta:
+        print("event log:", ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    counters = summary["counters"]
+    print(format_table(
+        ["counter", "value"],
+        [[name, value] for name, value in counters.items()],
+        title=f"Telemetry counters — {args.path}",
+    ))
+    response = summary.get("response")
+    if response:
+        print()
+        print(format_table(
+            ["count", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+             "min (ms)", "max (ms)"],
+            [[response["count"], response["mean_ms"], response["p50_ms"],
+              response["p95_ms"], response["p99_ms"], response["min_ms"],
+              response["max_ms"]]],
+            title="Response distribution (streaming digest)",
+        ))
     return 0
 
 
@@ -239,6 +371,22 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             report = replay_case(case)
             print(report.summary())
             return 0 if report.ok else 1
+        if sniff_event_log(args.path):
+            # A telemetry event log: re-derive the report from the typed
+            # event stream alone (no records, no simulation).
+            if getattr(args, "figure", "summary") != "summary":
+                print(
+                    f"error: {args.path} is a telemetry event log (one "
+                    "run's stream); --figure needs a multi-run records "
+                    "file — replay it without --figure for the stream "
+                    "summary",
+                    file=sys.stderr,
+                )
+                return 2
+            telemetry_args = argparse.Namespace(
+                telemetry_command="summarize", path=args.path, json=False
+            )
+            return _cmd_telemetry(telemetry_args)
         records = load_records(args.path)
         if not records:
             print(f"no records in {args.path}")
@@ -268,6 +416,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_campaign(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "verify":
         return run_verify_command(args)
     if args.command == "bench":

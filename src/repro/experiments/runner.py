@@ -61,10 +61,17 @@ SYSTEMS: Mapping = _SystemsView()
 
 @dataclass
 class RunResult:
-    """Outcome of one (system, sequence) simulation."""
+    """Outcome of one (system, sequence) simulation.
+
+    ``responses`` is either an exact :class:`ResponseStats` (live runs and
+    raw-sample records) or a bounded-error
+    :class:`~repro.telemetry.digest.ResponseDigest` (digest-only records);
+    both expose ``count`` / ``mean()`` / ``percentile()`` / ``p95()`` /
+    ``p99()``, so the figure pipelines are representation-agnostic.
+    """
 
     system: str
-    responses: ResponseStats
+    responses: object
     stats: SchedulerStats
     makespan_ms: float
 
@@ -74,10 +81,13 @@ def record_to_run_result(record: RunRecord) -> RunResult:
 
     The reconstructed ``stats`` carries the persisted counters; the
     per-application ``responses`` list inside it is not recoverable from a
-    record and stays empty (use ``result.responses`` for samples).
+    record and stays empty (use ``result.responses`` for the summary).
     """
-    responses = ResponseStats()
-    responses.extend(record.response_times_ms)
+    if record.response_times_ms:
+        responses: object = ResponseStats()
+        responses.extend(record.response_times_ms)  # type: ignore[attr-defined]
+    else:
+        responses = record.response_summary()
     stats = SchedulerStats()
     for name, value in record.counters.items():
         if hasattr(stats, name):
@@ -134,6 +144,9 @@ def run_matrix(
             seed=0,
             params=resolved,
             arrivals=tuple(arrivals),
+            # run_matrix returns per-sample RunResults, matching the
+            # serial path bit for bit — so workers keep raw samples.
+            keep_raw_samples=True,
         )
         for index, arrivals in enumerate(sequences)
         for name in chosen

@@ -25,11 +25,10 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..campaign.backend import DEFAULT_HORIZON_MS, CampaignCell, make_backend
-from ..campaign.results import ResultsStore, RunRecord
+from ..campaign.results import ResultsStore, RunRecord, merged_response_summary
 from ..campaign.scenario import SYSTEM_REGISTRY, get_system
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..metrics.report import format_table
-from ..metrics.response import ResponseStats
 from .routing import ROUTING_POLICIES, load_imbalance, partition_arrivals
 from .workload import FleetWorkload
 
@@ -191,9 +190,10 @@ class FleetRollup:
 
 
 def _rollup_group(shard: int, records: List[RunRecord]) -> ShardRollup:
-    stats = ResponseStats()
-    for record in records:
-        stats.extend(record.response_times_ms)
+    # Merge per-shard digests (or pool raw samples when records carry
+    # them) instead of concatenating per-request lists: the rollup is
+    # O(#shards), not O(#requests).
+    stats = merged_response_summary(records)
     has_samples = stats.count > 0
     elapsed = sum(r.utilization.get("elapsed_ms", 0.0) for r in records)
     fabric_lut = 0.0
@@ -270,22 +270,55 @@ class Fleet:
         self.params = scenario.parameters(base_params)
 
     # ------------------------------------------------------------------
-    def shard_plan(self, seed: int) -> List[List[Arrival]]:
+    def shard_plan(self, seed: int, telemetry=None) -> List[List[Arrival]]:
         """The dispatch plan: the global stream routed into shards."""
         scenario = self.scenario
         arrivals = scenario.workload.arrivals(seed)
         return partition_arrivals(
-            arrivals, scenario.n_shards, scenario.policy, seed
+            arrivals, scenario.n_shards, scenario.policy, seed,
+            telemetry=telemetry,
         )
 
-    def plans(self) -> Dict[int, List[List[Arrival]]]:
-        """The dispatch plan of every seed, computed once."""
-        return {seed: self.shard_plan(seed) for seed in self.scenario.seeds}
+    def plans(
+        self, events_dir: Optional[Union[str, Path]] = None
+    ) -> Dict[int, List[List[Arrival]]]:
+        """The dispatch plan of every seed, computed once.
+
+        With ``events_dir`` the front-end writes one admission event log
+        per seed (the routed stream's source of truth).
+        """
+        plans: Dict[int, List[List[Arrival]]] = {}
+        for seed in self.scenario.seeds:
+            telemetry = None
+            if events_dir is not None:
+                from ..telemetry import JsonlEventLogSink, TelemetryBus
+
+                telemetry = TelemetryBus()
+                telemetry.attach(
+                    JsonlEventLogSink(
+                        Path(events_dir)
+                        / f"{self.scenario.name}-admission-seed{seed}.jsonl",
+                        meta={
+                            "scenario": self.scenario.name,
+                            "policy": self.scenario.policy,
+                            "n_shards": self.scenario.n_shards,
+                            "seed": seed,
+                        },
+                    )
+                )
+            try:
+                plans[seed] = self.shard_plan(seed, telemetry=telemetry)
+            finally:
+                if telemetry is not None:
+                    telemetry.close()
+        return plans
 
     def cells(
         self,
         kernel: str = "optimized",
         plans: Optional[Dict[int, List[List[Arrival]]]] = None,
+        keep_raw_samples: bool = False,
+        events_dir: Optional[Union[str, Path]] = None,
     ) -> List[CampaignCell]:
         """One explicit-arrival campaign cell per (seed × shard)."""
         scenario = self.scenario
@@ -295,6 +328,12 @@ class Fleet:
         cells: List[CampaignCell] = []
         for seed in scenario.seeds:
             for shard, arrivals in enumerate(plans[seed]):
+                events_path = None
+                if events_dir is not None:
+                    events_path = str(
+                        Path(events_dir)
+                        / f"{scenario.name}-seed{seed}-shard{shard}.jsonl"
+                    )
                 cells.append(
                     CampaignCell(
                         scenario=scenario.name,
@@ -307,6 +346,8 @@ class Fleet:
                         kernel=kernel,
                         shard=shard,
                         condition_label=label,
+                        keep_raw_samples=keep_raw_samples,
+                        events_path=events_path,
                     )
                 )
         return cells
@@ -316,16 +357,27 @@ class Fleet:
         jobs: int = 1,
         store: Optional[Union[ResultsStore, str, Path]] = None,
         kernel: str = "optimized",
+        keep_raw_samples: bool = False,
+        events_dir: Optional[Union[str, Path]] = None,
     ) -> FleetResult:
         """Execute every shard cell and roll the records up.
 
         ``jobs=1`` runs shards serially in-process (the determinism
         reference); ``jobs=N`` fans shards out over N worker processes
-        with bit-identical records.
+        with bit-identical records.  ``events_dir`` persists the full
+        telemetry stream: one admission log per seed from the front-end
+        plus one event log per (seed × shard) cell.
         """
         backend = make_backend(jobs)
-        plans = self.plans()
-        records = backend.run(self.cells(kernel=kernel, plans=plans))
+        plans = self.plans(events_dir=events_dir)
+        records = backend.run(
+            self.cells(
+                kernel=kernel,
+                plans=plans,
+                keep_raw_samples=keep_raw_samples,
+                events_dir=events_dir,
+            )
+        )
         if store is not None:
             if not isinstance(store, ResultsStore):
                 store = ResultsStore(store)

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.benchmarks import BENCHMARKS
 from ..sim import SeededStreams
+from ..telemetry.bus import TelemetryBus
+from ..telemetry.events import ShardAdmissionEvent
 from ..workloads.generator import Arrival
 
 #: Arrivals admitted per routing batch; the per-shard load snapshot the
@@ -165,16 +167,22 @@ def partition_arrivals(
     policy: str,
     seed: int,
     admission_batch: int = ADMISSION_BATCH,
+    telemetry: Optional[TelemetryBus] = None,
 ) -> List[List[Arrival]]:
     """The fleet dispatch plan: arrivals routed to per-shard sub-streams.
 
     Pure and deterministic in ``(arrivals, n_shards, policy, seed)`` —
     recomputing the plan in a worker process yields the identical split.
+    An attached ``telemetry`` bus receives one shard-admission event per
+    routed arrival (timestamped with the arrival time).
     """
     streams = SeededStreams(seed).spawn("fleet-router")
     router = get_policy(policy, n_shards, streams)
     loads = [0.0] * n_shards
     shards: List[List[Arrival]] = [[] for _ in range(n_shards)]
+    emit_admission = (
+        telemetry is not None and telemetry.wants("admission")
+    )
     for start in range(0, len(arrivals), admission_batch):
         snapshot = tuple(loads)
         for arrival in arrivals[start:start + admission_batch]:
@@ -186,6 +194,13 @@ def partition_arrivals(
                 )
             shards[shard].append(arrival)
             loads[shard] += estimated_work_ms(arrival)
+            if emit_admission:
+                telemetry.emit(
+                    ShardAdmissionEvent(
+                        arrival.time_ms, arrival.app_name,
+                        arrival.batch_size, shard,
+                    )
+                )
     return shards
 
 

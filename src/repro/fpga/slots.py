@@ -80,9 +80,11 @@ class Slot:
         """Mark the slot as being reprogrammed (DFX decoupler engaged)."""
         if self.state is SlotState.RECONFIGURING:
             raise RuntimeError(f"slot {self.name} is already reconfiguring")
-        self._notify(None)
+        # State changes before the notification so observers (utilization
+        # tracker, telemetry slot-transition events) see the new state.
         self.occupancy = None
         self.state = SlotState.RECONFIGURING
+        self._notify(None)
 
     def complete_reconfiguration(self, occupancy: SlotOccupancy) -> None:
         """Install the new payload after the PCAP finished loading."""
@@ -102,9 +104,9 @@ class Slot:
         """Free the slot (payload finished or was preempted/migrated)."""
         if self.state is SlotState.IDLE:
             raise RuntimeError(f"slot {self.name} released while idle")
-        self._notify(None)
         self.occupancy = None
         self.state = SlotState.IDLE
+        self._notify(None)
 
     def _notify(self, occupancy: Optional[SlotOccupancy]) -> None:
         for observer in self.observers:

@@ -72,7 +72,7 @@ def summarize_records(records: Iterable["RunRecord"]) -> str:
     counters — everything needed to sanity-check a campaign file without
     replaying the simulations.
     """
-    from .response import ResponseStats
+    from ..campaign.results import merged_response_summary
 
     groups: Dict[tuple, List["RunRecord"]] = {}
     scenarios: List[str] = []
@@ -84,9 +84,9 @@ def summarize_records(records: Iterable["RunRecord"]) -> str:
         return "no records"
     rows = []
     for (condition, system), runs in sorted(groups.items()):
-        pooled = ResponseStats()
-        for run in runs:
-            pooled.extend(run.response_times_ms)
+        # Exact pooled samples when the records carry them, merged
+        # bounded-error digests otherwise (the O(1)-memory default).
+        pooled = merged_response_summary(runs)
         has_samples = pooled.count > 0
         rows.append([
             condition,

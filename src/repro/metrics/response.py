@@ -21,10 +21,18 @@ class ResponseStats:
     samples_ms: List[float] = field(default_factory=list)
 
     def extend(self, values: Iterable[float]) -> None:
-        for value in values:
-            if value < 0:
-                raise ValueError(f"negative response time {value}")
-            self.samples_ms.append(value)
+        """Append ``values`` after one vectorized validation pass."""
+        values = values if isinstance(values, list) else list(values)
+        if not values:
+            return
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"expected a flat sample sequence, got shape {arr.shape}")
+        negative = np.where(arr < 0)[0]
+        if negative.size:
+            value = values[int(negative[0])]
+            raise ValueError(f"negative response time {value}")
+        self.samples_ms.extend(values)
 
     @property
     def count(self) -> int:

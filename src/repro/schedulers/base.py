@@ -23,6 +23,13 @@ from ..fpga.board import FPGABoard
 from ..fpga.slots import Slot
 from ..sim import Engine, Event, Store, Tracer, NULL_TRACER
 from ..sim.events import PENDING
+from ..telemetry.bus import TelemetryBus
+from ..telemetry.events import (
+    ArrivalEvent,
+    CompletionEvent,
+    MigrationEvent,
+    PreemptionEvent,
+)
 from .runtime import (
     AppRun,
     BLOCK_EPSILON_MS,
@@ -63,6 +70,13 @@ class SchedulerStats:
     window_pr: int = 0
     window_blocked: int = 0
     responses: List[ResponseRecord] = field(default_factory=list)
+    #: Finish time of the latest completion (the makespan, since finishes
+    #: are recorded in nondecreasing clock order).
+    last_finish_ms: float = 0.0
+    #: When False, completions update the counters and telemetry but no
+    #: :class:`ResponseRecord` is retained — the O(1)-memory digest path
+    #: used by campaign cells that persist digests instead of raw samples.
+    retain_responses: bool = True
 
     def note_pr(self, queue_wait_ms: float, cross_app: bool = True) -> None:
         """Record a completed PR; only *cross-application* waits count as
@@ -81,6 +95,13 @@ class SchedulerStats:
         if wait_ms > BLOCK_EPSILON_MS and pr_in_flight:
             self.launch_blocked += 1
             self.window_blocked += 1
+
+    def note_completion(self, inst: ApplicationInstance, finish_time: float) -> None:
+        """Record one application completion (the only completion path)."""
+        self.completions += 1
+        self.last_finish_ms = finish_time
+        if self.retain_responses:
+            self.responses.append(ResponseRecord(inst, finish_time))
 
     def reset_window(self) -> Tuple[int, int]:
         """Return and clear the (PR, blocked) window counters."""
@@ -117,6 +138,7 @@ class OnBoardScheduler:
         "_pr_inflight", "_inflight_app", "_last_preempt_ms",
         "candidate_listeners", "finish_listeners", "pr_queue", "_core",
         "_launch_overhead_ms", "_action_ms", "big_total", "little_total",
+        "telemetry",
     )
 
     #: Human-readable system name, overridden by subclasses.
@@ -168,6 +190,9 @@ class OnBoardScheduler:
         self.candidate_listeners: List[Callable[["OnBoardScheduler"], None]] = []
         self.finish_listeners: List[Callable[["OnBoardScheduler", AppRun], None]] = []
         self.pr_queue: Store = Store(self.engine, name=f"{board.name}-pr")
+        #: Telemetry bus, attached by ``simulate_run(..., telemetry=...)``
+        #: (or directly); ``None`` keeps every emission site free.
+        self.telemetry: Optional[TelemetryBus] = None
         # Hot-path caches: the scheduler core and the two per-launch delay
         # parameters are immutable for the scheduler's lifetime, and the
         # launch gate runs once per batch item.
@@ -192,6 +217,11 @@ class OnBoardScheduler:
         self.apps.append(app_run)
         self.c_wait.append(app_run)
         self.stats.arrivals += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                ArrivalEvent(self.engine.now, inst.name, inst.app_id, inst.batch_size)
+            )
         if self.tracer.enabled:
             self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
         self._notify_candidates()
@@ -226,6 +256,7 @@ class OnBoardScheduler:
             for app in self.active_apps()
             if not app.started and not app.pending_pr and not app.loaded
         ]
+        telemetry = self.telemetry
         for app in movable:
             app.frozen = True
             self.apps.remove(app)
@@ -233,6 +264,10 @@ class OnBoardScheduler:
                 if app in queue:
                     queue.remove(app)
             self.stats.migrations_out += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    MigrationEvent(self.engine.now, app.inst.name, app.inst.app_id)
+                )
         if movable:
             self._notify_candidates()
         return [app.inst for app in movable]
@@ -507,6 +542,14 @@ class OnBoardScheduler:
         yield request
         wait = engine.now - started
         self.stats.note_launch(wait, pr_in_flight=pr_busy)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.wants_launch:
+            telemetry.emit_launch(
+                engine.now,
+                app_run.inst.app_id if app_run is not None else -1,
+                wait,
+                wait > BLOCK_EPSILON_MS and pr_busy,
+            )
         try:
             yield self._launch_overhead_ms
         finally:
@@ -523,18 +566,31 @@ class OnBoardScheduler:
             app.used_little -= 1
         if preempted:
             self.stats.preemptions += 1
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    PreemptionEvent(self.engine.now, app.inst.name, run.payload_name)
+                )
         if app.all_done and not app.finished:
             self._finish_app(app)
         self.kick()
 
     def _finish_app(self, app: AppRun) -> None:
         app.finished = True
-        app.finish_time = self.engine.now
+        now = self.engine.now
+        app.finish_time = now
         for queue in (self.c_wait, self.s_big, self.s_little):
             if app in queue:
                 queue.remove(app)
-        self.stats.completions += 1
-        self.stats.responses.append(ResponseRecord(app.inst, self.engine.now))
+        self.stats.note_completion(app.inst, now)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                CompletionEvent(
+                    now, app.inst.name, app.inst.app_id,
+                    app.inst.arrival_time, now - app.inst.arrival_time,
+                )
+            )
         self.tracer.emit(
             self.engine.now, "finish", app=app.inst.name,
             response_ms=self.engine.now - app.inst.arrival_time,

@@ -10,20 +10,22 @@ normalizes against.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from ..apps.application import ApplicationInstance, pipelined_exec_time
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..fpga.board import FPGABoard
 from ..sim import NULL_TRACER, Store, Tracer
-from .base import ResponseRecord, SchedulerStats
+from ..telemetry.bus import TelemetryBus
+from ..telemetry.events import ArrivalEvent, CompletionEvent
+from .base import SchedulerStats
 
 
 class BaselineScheduler:
     """Whole-FPGA FIFO multiplexing via full reconfiguration."""
 
     __slots__ = ("board", "engine", "params", "tracer", "stats", "_queue",
-                 "_pending")
+                 "_pending", "telemetry")
 
     name = "Baseline"
 
@@ -40,11 +42,17 @@ class BaselineScheduler:
         self.stats = SchedulerStats()
         self._queue: Store = Store(self.engine, name=f"{board.name}-baseline")
         self._pending: List[ApplicationInstance] = []
+        self.telemetry: Optional[TelemetryBus] = None
         self.engine.process(self._serve_loop())
 
     def submit(self, inst: ApplicationInstance) -> None:
         """Queue an application for exclusive execution."""
         self.stats.arrivals += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                ArrivalEvent(self.engine.now, inst.name, inst.app_id, inst.batch_size)
+            )
         self._pending.append(inst)
         self.tracer.emit(self.engine.now, "submit", app=inst.name, batch=inst.batch_size)
         self._queue.put(inst)
@@ -72,10 +80,18 @@ class BaselineScheduler:
             # All stages resident: ideal item-level pipeline across the app.
             duration = pipelined_exec_time(inst.spec.tasks, inst.batch_size)
             yield duration
-            self.stats.completions += 1
-            self.stats.responses.append(ResponseRecord(inst, self.engine.now))
+            now = self.engine.now
+            self.stats.note_completion(inst, now)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    CompletionEvent(
+                        now, inst.name, inst.app_id,
+                        inst.arrival_time, now - inst.arrival_time,
+                    )
+                )
             self._pending.remove(inst)
             self.tracer.emit(
-                self.engine.now, "finish", app=inst.name,
-                response_ms=self.engine.now - inst.arrival_time,
+                now, "finish", app=inst.name,
+                response_ms=now - inst.arrival_time,
             )

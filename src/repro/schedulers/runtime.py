@@ -311,6 +311,12 @@ class TaskRun:
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
         launch_overhead = scheduler._launch_overhead_ms
+        # Telemetry fast lane: when no sink wants launch events the local
+        # is None and the per-item cost is a single identity test.
+        telemetry = scheduler.telemetry
+        if telemetry is not None and not telemetry.wants_launch:
+            telemetry = None
+        app_id = app.inst.app_id
         while done_counts[k] < batch:
             if self.preempt_requested:
                 break
@@ -344,9 +350,12 @@ class TaskRun:
             wait = engine.now - started
             stats.launches += 1
             stats.launch_wait_ms += wait
-            if wait > BLOCK_EPSILON_MS and pr_busy:
+            blocked = wait > BLOCK_EPSILON_MS and pr_busy
+            if blocked:
                 stats.launch_blocked += 1
                 stats.window_blocked += 1
+            if telemetry is not None:
+                telemetry.emit_launch(engine.now, app_id, wait, blocked)
             try:
                 yield launch_overhead
             finally:
@@ -427,6 +436,11 @@ class BundleRun:
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
         launch_overhead = scheduler._launch_overhead_ms
+        # Telemetry fast lane (see TaskRun._run).
+        telemetry = scheduler.telemetry
+        if telemetry is not None and not telemetry.wants_launch:
+            telemetry = None
+        app_id = app.inst.app_id
         start_item = done_counts[first]
         for item in range(start_item, app.batch):
             # Dependency of the bundle's first member on the previous
@@ -444,9 +458,12 @@ class BundleRun:
             wait = engine.now - started
             stats.launches += 1
             stats.launch_wait_ms += wait
-            if wait > BLOCK_EPSILON_MS and pr_busy:
+            blocked = wait > BLOCK_EPSILON_MS and pr_busy
+            if blocked:
                 stats.launch_blocked += 1
                 stats.window_blocked += 1
+            if telemetry is not None:
+                telemetry.emit_launch(engine.now, app_id, wait, blocked)
             try:
                 yield launch_overhead
             finally:
@@ -466,6 +483,11 @@ class BundleRun:
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
         launch_overhead = scheduler._launch_overhead_ms
+        # Telemetry fast lane (see TaskRun._run).
+        telemetry = scheduler.telemetry
+        if telemetry is not None and not telemetry.wants_launch:
+            telemetry = None
+        app_id = app.inst.app_id
         completed = 0
         # Serial mode buffers whole batches between members, so each
         # member's items pay the DDR hop like separate slots would.
@@ -489,9 +511,12 @@ class BundleRun:
                 wait = engine.now - started
                 stats.launches += 1
                 stats.launch_wait_ms += wait
-                if wait > BLOCK_EPSILON_MS and pr_busy:
+                blocked = wait > BLOCK_EPSILON_MS and pr_busy
+                if blocked:
                     stats.launch_blocked += 1
                     stats.window_blocked += 1
+                if telemetry is not None:
+                    telemetry.emit_launch(engine.now, app_id, wait, blocked)
                 try:
                     yield launch_overhead
                 finally:

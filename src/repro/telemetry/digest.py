@@ -1,0 +1,312 @@
+"""Mergeable, bounded-memory response-time digests.
+
+:class:`ResponseDigest` is the streaming replacement for raw
+``response_times_ms`` lists: a fixed-capacity log-bucket histogram for
+quantiles, an exact running sum for the mean, and Welford accumulators for
+the variance.  Memory is O(1) in the number of samples (bounded by
+:data:`N_BUCKETS` histogram entries), digests merge associatively across
+shards, and the whole state round-trips through JSON.
+
+Accuracy contract
+-----------------
+* ``mean()`` is **exact**: the running sum adds samples left to right, so
+  ``digest.mean() == sum(samples) / len(samples)`` bit for bit when fed in
+  the same order (the figure pipelines rely on this).
+* ``percentile(q)`` carries a **bounded relative error**: buckets grow
+  geometrically by :data:`GAMMA` and report their geometric midpoint, so
+  the estimate is within a factor of ``GAMMA ** 0.5`` (≈ ``±0.5%`` at the
+  default ``GAMMA = 1.01``) of the linearly-interpolated empirical
+  percentile — see :data:`QUANTILE_REL_ERROR`.  ``percentile(0)`` and
+  ``percentile(100)`` return the exact min/max.
+* Values below :data:`MIN_TRACK_MS` (1 µs) collapse into one underflow
+  bucket reported as 0.0; values above the top bucket
+  (≈ :data:`MAX_TRACK_MS`, ~32 simulated hours) clamp to it.  Both are far
+  outside the response times this system produces.
+* ``variance()`` uses Welford accumulators (Chan's formula under
+  ``merge``), so it is numerically stable but only float-accurate —
+  the quantile state, by contrast, merges *exactly* (integer bucket
+  counts), as do ``count``/``min``/``max``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+#: Geometric bucket growth factor; the knob trading memory for accuracy.
+GAMMA = 1.01
+
+#: Smallest tracked response (ms); smaller values land in the underflow
+#: bucket and report as 0.0.
+MIN_TRACK_MS = 1e-3
+
+#: Histogram capacity: bucket 0 is the underflow bucket, buckets
+#: ``1..N_BUCKETS-1`` cover ``[MIN_TRACK_MS, MAX_TRACK_MS)`` and the top
+#: bucket clamps everything above.
+N_BUCKETS = 2560
+
+#: Upper edge of the highest non-clamping bucket (~1.1e8 ms).
+MAX_TRACK_MS = MIN_TRACK_MS * GAMMA ** (N_BUCKETS - 1)
+
+#: Documented quantile error: relative to the linearly-interpolated
+#: empirical percentile of the ingested samples.
+QUANTILE_REL_ERROR = GAMMA ** 0.5 - 1.0
+
+_LOG_GAMMA = math.log(GAMMA)
+
+#: Serialization version (bumped on incompatible state changes).
+DIGEST_VERSION = 1
+
+
+class ResponseDigest:
+    """Streaming response-time summary with O(1) memory.
+
+    Quacks like :class:`repro.metrics.response.ResponseStats` for the
+    reporting layer: ``count``, ``mean()``, ``percentile(q)``, ``p95()``,
+    ``p99()`` — so records carrying a digest flow through the same figure
+    and rollup code paths as records carrying raw samples.
+    """
+
+    __slots__ = ("count", "sum_ms", "min_ms", "max_ms", "_wmean", "_m2",
+                 "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms = math.inf
+        self.max_ms = -math.inf
+        self._wmean = 0.0
+        self._m2 = 0.0
+        self._buckets: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, value_ms: float) -> None:
+        """Fold one response time into the digest."""
+        if value_ms < 0:
+            raise ValueError(f"negative response time {value_ms}")
+        self.count = count = self.count + 1
+        self.sum_ms += value_ms
+        if value_ms < self.min_ms:
+            self.min_ms = value_ms
+        if value_ms > self.max_ms:
+            self.max_ms = value_ms
+        delta = value_ms - self._wmean
+        self._wmean += delta / count
+        self._m2 += delta * (value_ms - self._wmean)
+        if value_ms < MIN_TRACK_MS:
+            bucket = 0
+        else:
+            bucket = int(math.log(value_ms / MIN_TRACK_MS) / _LOG_GAMMA) + 1
+            if bucket >= N_BUCKETS:
+                bucket = N_BUCKETS - 1
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    def extend(self, values_ms: Iterable[float]) -> None:
+        """Fold a batch of response times, in order.
+
+        Deliberately a loop of :meth:`add`: a digest built from a list is
+        bit-identical to one fed the same values one event at a time, so
+        the streaming sink and the batch path can be compared exactly.
+        """
+        add = self.add
+        for value in values_ms:
+            add(value)
+
+    def merge(self, other: "ResponseDigest") -> "ResponseDigest":
+        """Fold another digest in (shard rollups); returns ``self``.
+
+        Bucket counts, ``count``, ``sum_ms``, ``min``/``max`` merge
+        exactly and associatively; the Welford moments use Chan's parallel
+        formula (float-accurate, order-sensitive in the last bits).
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.sum_ms = other.sum_ms
+            self.min_ms = other.min_ms
+            self.max_ms = other.max_ms
+            self._wmean = other._wmean
+            self._m2 = other._m2
+            self._buckets = dict(other._buckets)
+            return self
+        total = self.count + other.count
+        delta = other._wmean - self._wmean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self._wmean += delta * other.count / total
+        self.sum_ms += other.sum_ms
+        self.count = total
+        if other.min_ms < self.min_ms:
+            self.min_ms = other.min_ms
+        if other.max_ms > self.max_ms:
+            self.max_ms = other.max_ms
+        buckets = self._buckets
+        for bucket, n in other._buckets.items():
+            buckets[bucket] = buckets.get(bucket, 0) + n
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries (ResponseStats-compatible surface)
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        self._require_samples()
+        return self.sum_ms / self.count
+
+    def variance(self) -> float:
+        """Population variance (Welford)."""
+        self._require_samples()
+        return self._m2 / self.count
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]), within the error bound.
+
+        Mirrors ``numpy.percentile``'s linear interpolation over order
+        statistics, but over bucket representatives: the two order
+        statistics straddling the nominal rank are located in the
+        histogram and interpolated, clamped to the exact [min, max].
+        """
+        self._require_samples()
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if q == 0.0:
+            return self.min_ms
+        if q == 100.0 or self.count == 1:
+            return self.max_ms
+        rank = q / 100.0 * (self.count - 1)
+        lower_rank = int(math.floor(rank))
+        frac = rank - lower_rank
+        lower = self._value_at_rank(lower_rank)
+        if frac == 0.0:
+            estimate = lower
+        else:
+            upper = self._value_at_rank(lower_rank + 1)
+            estimate = lower + (upper - lower) * frac
+        return min(max(estimate, self.min_ms), self.max_ms)
+
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def _value_at_rank(self, rank: int) -> float:
+        """Representative value of the 0-indexed ``rank``-th order stat."""
+        seen = 0
+        for bucket, n in sorted(self._buckets.items()):
+            seen += n
+            if rank < seen:
+                return bucket_representative(bucket)
+        return self.max_ms  # unreachable unless rank >= count
+
+    def _require_samples(self) -> None:
+        if self.count == 0:
+            raise ValueError("no response samples recorded")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready state (bucket keys become strings)."""
+        return {
+            "v": DIGEST_VERSION,
+            "gamma": GAMMA,
+            "min_track_ms": MIN_TRACK_MS,
+            "count": self.count,
+            "sum_ms": self.sum_ms,
+            "min_ms": self.min_ms if self.count else 0.0,
+            "max_ms": self.max_ms if self.count else 0.0,
+            "wmean": self._wmean,
+            "m2": self._m2,
+            "buckets": {str(b): n for b, n in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ResponseDigest":
+        version = payload.get("v", DIGEST_VERSION)
+        if version != DIGEST_VERSION:
+            raise ValueError(
+                f"digest version {version} not supported (expected {DIGEST_VERSION})"
+            )
+        if payload.get("gamma", GAMMA) != GAMMA or (
+            payload.get("min_track_ms", MIN_TRACK_MS) != MIN_TRACK_MS
+        ):
+            raise ValueError(
+                "digest bucket layout mismatch: cannot merge digests built "
+                f"with gamma={payload.get('gamma')!r}, "
+                f"min_track_ms={payload.get('min_track_ms')!r}"
+            )
+        digest = cls()
+        digest.count = int(payload["count"])  # type: ignore[arg-type]
+        digest.sum_ms = float(payload["sum_ms"])  # type: ignore[arg-type]
+        if digest.count:
+            digest.min_ms = float(payload["min_ms"])  # type: ignore[arg-type]
+            digest.max_ms = float(payload["max_ms"])  # type: ignore[arg-type]
+        digest._wmean = float(payload["wmean"])  # type: ignore[arg-type]
+        digest._m2 = float(payload["m2"])  # type: ignore[arg-type]
+        digest._buckets = {
+            int(bucket): int(n)
+            for bucket, n in payload.get("buckets", {}).items()  # type: ignore[union-attr]
+        }
+        return digest
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<ResponseDigest empty>"
+        return (
+            f"<ResponseDigest n={self.count} mean={self.mean():.2f}ms "
+            f"buckets={len(self._buckets)}>"
+        )
+
+
+def bucket_representative(bucket: int) -> float:
+    """Reported value of one histogram bucket (geometric midpoint)."""
+    if bucket <= 0:
+        return 0.0
+    return MIN_TRACK_MS * GAMMA ** (bucket - 0.5)
+
+
+def bucket_bounds(bucket: int) -> Tuple[float, float]:
+    """[low, high) value range of one histogram bucket."""
+    if bucket <= 0:
+        return (0.0, MIN_TRACK_MS)
+    return (
+        MIN_TRACK_MS * GAMMA ** (bucket - 1),
+        MIN_TRACK_MS * GAMMA ** bucket,
+    )
+
+
+def digest_of(values_ms: Iterable[float]) -> ResponseDigest:
+    """Convenience constructor: a digest of one sample batch."""
+    digest = ResponseDigest()
+    digest.extend(values_ms)
+    return digest
+
+
+def merge_digests(digests: Iterable[ResponseDigest]) -> ResponseDigest:
+    """Left-fold merge of many digests into a fresh one."""
+    merged = ResponseDigest()
+    for digest in digests:
+        merged.merge(digest)
+    return merged
+
+
+__all__ = [
+    "DIGEST_VERSION",
+    "GAMMA",
+    "MAX_TRACK_MS",
+    "MIN_TRACK_MS",
+    "N_BUCKETS",
+    "QUANTILE_REL_ERROR",
+    "ResponseDigest",
+    "bucket_bounds",
+    "bucket_representative",
+    "digest_of",
+    "merge_digests",
+]

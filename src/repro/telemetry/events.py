@@ -1,0 +1,246 @@
+"""The typed telemetry event hierarchy.
+
+Every measurable thing that happens in a simulation is one of these seven
+event kinds, emitted from the scheduler/fleet hot paths onto a
+:class:`~repro.telemetry.bus.TelemetryBus`:
+
+========== =========================================================
+kind       emitted when
+========== =========================================================
+admission  the fleet front-end routes an arrival to a shard
+arrival    a scheduler accepts a submitted application
+launch     a batch item acquires the scheduler core (one per item)
+slot       a reconfigurable slot changes state (PR begin/done, release)
+preemption a task run vacates its slot at an item boundary
+migration  a waiting app is extracted for cross-board migration
+completion an application finishes (carries the exact response time)
+========== =========================================================
+
+Events are deliberately *plain* ``__slots__`` classes with positional
+constructors — a launch event is created once per batch item on the
+hottest model path, so no dataclass machinery, no kwargs.  Each event
+serializes to one JSON object (``to_dict``/``event_from_dict``) and to a
+canonical pipe-delimited line (``canonical_line``) whose stream hash the
+verify oracle compares across kernels.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Tuple, Type
+
+#: Bumped whenever the on-disk event shape changes incompatibly.
+EVENT_SCHEMA = "repro-telemetry/1"
+
+
+class TelemetryEvent:
+    """Base event: a kind tag plus the simulation time it happened at."""
+
+    __slots__ = ("time_ms",)
+
+    kind = "?"
+    #: Payload attribute names, in serialization order.
+    _fields: Tuple[str, ...] = ()
+
+    def payload(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self._fields}
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"t": self.time_ms, "kind": self.kind}
+        for name in self._fields:
+            out[name] = getattr(self, name)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.time_ms == self.time_ms  # type: ignore[attr-defined]
+            and all(
+                getattr(other, name) == getattr(self, name)
+                for name in self._fields
+            )
+        )
+
+    def __hash__(self) -> int:  # events are compared in tests
+        return hash((self.kind, self.time_ms))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}={getattr(self, n)!r}" for n in self._fields)
+        return f"<{type(self).__name__} t={self.time_ms} {fields}>"
+
+
+class ShardAdmissionEvent(TelemetryEvent):
+    """The fleet front-end routed one arrival to a shard."""
+
+    __slots__ = ("app", "batch", "shard")
+    kind = "admission"
+    _fields = ("app", "batch", "shard")
+
+    def __init__(self, time_ms: float, app: str, batch: int, shard: int) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.batch = batch
+        self.shard = shard
+
+
+class ArrivalEvent(TelemetryEvent):
+    """A scheduler accepted a submitted application."""
+
+    __slots__ = ("app", "app_id", "batch")
+    kind = "arrival"
+    _fields = ("app", "app_id", "batch")
+
+    def __init__(self, time_ms: float, app: str, app_id: int, batch: int) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.app_id = app_id
+        self.batch = batch
+
+
+class LaunchEvent(TelemetryEvent):
+    """One batch item acquired the scheduler core and launched."""
+
+    __slots__ = ("app_id", "wait_ms", "blocked")
+    kind = "launch"
+    _fields = ("app_id", "wait_ms", "blocked")
+
+    def __init__(self, time_ms: float, app_id: int, wait_ms: float, blocked: bool) -> None:
+        self.time_ms = time_ms
+        self.app_id = app_id
+        self.wait_ms = wait_ms
+        self.blocked = blocked
+
+
+class SlotTransitionEvent(TelemetryEvent):
+    """A reconfigurable slot changed state.
+
+    ``state`` is the slot's *new* state (``reconfiguring``, ``loaded``,
+    ``idle``); ``payload``/``app_id`` describe the installed occupancy
+    (empty/-1 while reconfiguring or idle).  A ``loaded`` transition is
+    exactly one completed partial reconfiguration.
+    """
+
+    __slots__ = ("slot", "state", "payload_name", "app_id")
+    kind = "slot"
+    _fields = ("slot", "state", "payload_name", "app_id")
+
+    def __init__(
+        self, time_ms: float, slot: str, state: str, payload_name: str, app_id: int
+    ) -> None:
+        self.time_ms = time_ms
+        self.slot = slot
+        self.state = state
+        self.payload_name = payload_name
+        self.app_id = app_id
+
+
+class PreemptionEvent(TelemetryEvent):
+    """A task run vacated its slot at an item boundary."""
+
+    __slots__ = ("app", "payload_name")
+    kind = "preemption"
+    _fields = ("app", "payload_name")
+
+    def __init__(self, time_ms: float, app: str, payload_name: str) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.payload_name = payload_name
+
+
+class MigrationEvent(TelemetryEvent):
+    """A waiting application was extracted for cross-board migration."""
+
+    __slots__ = ("app", "app_id")
+    kind = "migration"
+    _fields = ("app", "app_id")
+
+    def __init__(self, time_ms: float, app: str, app_id: int) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.app_id = app_id
+
+
+class CompletionEvent(TelemetryEvent):
+    """An application finished; carries the exact response time."""
+
+    __slots__ = ("app", "app_id", "arrival_ms", "response_ms")
+    kind = "completion"
+    _fields = ("app", "app_id", "arrival_ms", "response_ms")
+
+    def __init__(
+        self, time_ms: float, app: str, app_id: int, arrival_ms: float,
+        response_ms: float,
+    ) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.app_id = app_id
+        self.arrival_ms = arrival_ms
+        self.response_ms = response_ms
+
+
+#: Registered event classes by kind tag (the closed schema).
+EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
+    cls.kind: cls
+    for cls in (
+        ShardAdmissionEvent,
+        ArrivalEvent,
+        LaunchEvent,
+        SlotTransitionEvent,
+        PreemptionEvent,
+        MigrationEvent,
+        CompletionEvent,
+    )
+}
+
+
+def event_from_dict(payload: Dict[str, Any]) -> TelemetryEvent:
+    """Rebuild a typed event from its ``to_dict`` form."""
+    try:
+        cls = EVENT_TYPES[payload["kind"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown telemetry event kind {payload.get('kind')!r}; "
+            f"known: {', '.join(EVENT_TYPES)}"
+        ) from None
+    try:
+        return cls(payload["t"], *(payload[name] for name in cls._fields))
+    except KeyError as exc:
+        raise ValueError(
+            f"telemetry event {payload.get('kind')!r} is missing field "
+            f"{exc.args[0]!r}"
+        ) from None
+
+
+def canonical_line(event: TelemetryEvent) -> str:
+    """One-line canonical rendering, hashable across processes.
+
+    Matches the trace-line convention (time to 9 decimals, kind, payload
+    JSON with sorted keys) so telemetry-stream digests sit next to trace
+    digests in fingerprints.
+    """
+    return (
+        f"{event.time_ms:.9f}|{event.kind}|"
+        f"{json.dumps(event.payload(), sort_keys=True)}"
+    )
+
+
+def event_kinds() -> Iterable[str]:
+    """All registered kind tags, in schema order."""
+    return tuple(EVENT_TYPES)
+
+
+__all__ = [
+    "ArrivalEvent",
+    "CompletionEvent",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "LaunchEvent",
+    "MigrationEvent",
+    "PreemptionEvent",
+    "ShardAdmissionEvent",
+    "SlotTransitionEvent",
+    "TelemetryEvent",
+    "canonical_line",
+    "event_from_dict",
+    "event_kinds",
+]

@@ -27,6 +27,7 @@ from ..campaign.results import COUNTER_FIELDS
 from ..config import SystemParameters
 from ..metrics.utilization import UtilizationTracker
 from ..sim import Engine, Tracer
+from ..telemetry import FingerprintSink, TelemetryBus
 from ..workloads.generator import Arrival
 from .invariants import InvariantMonitor
 from .reference import ReferenceEngine, resolve_kernel
@@ -65,6 +66,12 @@ class KernelFingerprint:
     fabric_utilization: Tuple[float, float]
     pcap_loads: int
     pcap_retries: int
+    #: Typed telemetry stream condensation (the fingerprint sink): event
+    #: count and SHA-256 over the canonical event lines.  Any divergence
+    #: in emission order or payload between kernels surfaces here even if
+    #: no other aggregate moves.
+    telemetry_events: int = 0
+    telemetry_sha256: str = ""
     violations: List[str] = field(default_factory=list)
     #: Full canonical trace, kept for diff context (compared via the sha).
     trace: List[str] = field(default_factory=list, repr=False)
@@ -85,6 +92,8 @@ class KernelFingerprint:
         "fabric_utilization",
         "pcap_loads",
         "pcap_retries",
+        "telemetry_events",
+        "telemetry_sha256",
     )
 
     def comparable(self) -> Dict[str, object]:
@@ -109,6 +118,12 @@ def instrumented_run(
     """
     factory = engine_factory if engine_factory is not None else resolve_kernel(kernel)
     tracer = Tracer()
+    # The telemetry spine carries the oracle's response/finish plumbing:
+    # the fingerprint sink consumes the typed event stream the model
+    # emits, replacing direct reads of ``SchedulerStats.responses``.
+    telemetry = TelemetryBus()
+    fingerprint_sink = FingerprintSink()
+    telemetry.attach(fingerprint_sink)
     refs: Dict[str, object] = {}
 
     def capture(engine, board, scheduler) -> None:
@@ -132,6 +147,7 @@ def instrumented_run(
             engine_factory=factory,
             tracer=tracer,
             instruments=(capture,),
+            telemetry=telemetry,
         )
         makespan = outcome.makespan_ms
     except DrainError as exc:
@@ -156,7 +172,7 @@ def instrumented_run(
     stats = scheduler.stats
     if error is not None:
         makespan = max(
-            (record.finish_time for record in stats.responses),
+            fingerprint_sink.finish_times_ms,
             default=refs["engine"].now,  # type: ignore[union-attr]
         )
     monitor.finalize(drained=drained and error is None)
@@ -168,17 +184,19 @@ def instrumented_run(
         system=system,
         drained=drained,
         error=error,
-        completions=stats.completions,
+        completions=fingerprint_sink.completions,
         makespan_ms=makespan,
         counters={name: getattr(stats, name) for name in COUNTER_FIELDS},
-        response_times_ms=stats.response_times_ms(),
-        finish_times_ms=[record.finish_time for record in stats.responses],
+        response_times_ms=list(fingerprint_sink.response_times_ms),
+        finish_times_ms=list(fingerprint_sink.finish_times_ms),
         trace_len=len(lines),
         trace_sha256=hashlib.sha256("\n".join(lines).encode()).hexdigest(),
         occupied_utilization=(occupied.lut, occupied.ff),
         fabric_utilization=(fabric.lut, fabric.ff),
         pcap_loads=board.pcap.loads,  # type: ignore[union-attr]
         pcap_retries=board.pcap.verification_retries,  # type: ignore[union-attr]
+        telemetry_events=fingerprint_sink.event_count,
+        telemetry_sha256=fingerprint_sink.hexdigest(),
         violations=[str(violation) for violation in monitor.violations],
         trace=lines,
     )

@@ -165,10 +165,31 @@ class TestSimulationCore:
         assert record.system == "Nimblock"
         assert record.condition == "Loose"
         assert record.n_apps == 3
-        assert len(record.response_times_ms) == 3
+        # Raw samples are opt-in; the default record carries the compact
+        # bounded-memory response digest instead.
+        assert record.response_times_ms == []
+        assert record.digest().count == 3
         assert record.counters["completions"] == 3
         assert record.fingerprint == fingerprint_parameters(DEFAULT_PARAMETERS)
         assert 0 < record.makespan_ms < 1e8
+
+    def test_execute_cell_raw_samples_opt_in(self):
+        import dataclasses
+
+        cell = CampaignCell(
+            scenario="s",
+            system="Nimblock",
+            sequence_index=0,
+            seed=1,
+            workload=WorkloadSpec(Condition.LOOSE, n_apps=3),
+        )
+        raw = execute_cell(dataclasses.replace(cell, keep_raw_samples=True))
+        digest_only = execute_cell(cell)
+        assert len(raw.response_times_ms) == 3
+        # The digest is built from the same completion stream either way,
+        # and its mean is bit-identical to the raw-sample mean.
+        assert raw.response_digest == digest_only.response_digest
+        assert raw.mean_response_ms() == digest_only.mean_response_ms()
 
 
 class TestResultsStore:
@@ -215,11 +236,68 @@ class TestResultsStore:
         with pytest.raises(ValueError, match="schema"):
             load_records(path)
 
-    def test_malformed_line_reports_location(self, tmp_path):
+    def test_malformed_interior_line_reports_location(self, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text("{not json\n")
+        good = json.dumps(self._records()[0].to_dict(), sort_keys=True)
+        path.write_text("{not json\n" + good + "\n")
         with pytest.raises(ValueError, match="bad.jsonl:1"):
             load_records(path)
+
+    def test_truncated_trailing_line_skipped_with_warning(self, tmp_path):
+        """A killed writer can only truncate the final line; loading must
+        keep every intact record and warn about the partial one."""
+        records = self._records()
+        path = tmp_path / "truncated.jsonl"
+        store = ResultsStore(path)
+        store.extend(records)
+        lines = path.read_text().splitlines()
+        path.write_text(  # cut the last record short mid-line
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        with pytest.warns(UserWarning, match="truncated trailing record"):
+            loaded = store.load()
+        assert [r.to_dict() for r in loaded] == [
+            r.to_dict() for r in records[: len(loaded)]
+        ]
+        assert len(loaded) == len(records) - 1
+
+    def test_extend_after_truncation_repairs_the_tail(self, tmp_path):
+        """Appending to a crash-truncated file must not merge the partial
+        line with the first new record — the resume-after-crash path."""
+        records = self._records()
+        path = tmp_path / "resume.jsonl"
+        store = ResultsStore(path)
+        store.extend(records)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # kill the final newline+tail
+        with pytest.warns(UserWarning, match="dropping truncated trailing"):
+            store.extend(records)
+        loaded = store.load()  # no warning: the file is whole again
+        assert [r.to_dict() for r in loaded] == [
+            r.to_dict() for r in records[:-1] + records
+        ]
+
+    def test_extend_terminates_valid_unterminated_tail(self, tmp_path):
+        """A valid final record merely missing its newline is kept."""
+        records = self._records()
+        path = tmp_path / "unterminated.jsonl"
+        store = ResultsStore(path)
+        store.extend(records)
+        path.write_text(path.read_text().rstrip("\n"))
+        store.extend(records[:1])
+        loaded = store.load()
+        assert [r.to_dict() for r in loaded] == [
+            r.to_dict() for r in records + records[:1]
+        ]
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "atomic.jsonl"
+        store = ResultsStore(path)
+        store.write(records)
+        store.write(records[:1])  # overwrite goes through the temp file
+        assert len(store.load()) == 1
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_missing_fields_rejected_with_location(self, tmp_path):
         path = tmp_path / "short.jsonl"
