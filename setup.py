@@ -1,9 +1,28 @@
-"""Setup shim for environments whose pip lacks the `wheel` package.
+"""Packaging for the VersaSlot reproduction.
 
-The canonical metadata lives in pyproject.toml; this file only enables
-legacy `pip install -e . --no-build-isolation` / `setup.py develop` flows.
+The core package is dependency-free; ``repro[fast]`` pulls in numpy for
+the vectorized workload-sampling backend (``repro.workloads.sampling``).
+Without the extra, every sampler transparently falls back to the
+pure-python backend and produces byte-identical samples — only slower.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.6.0",
+    description=(
+        "Discrete-event reproduction of VersaSlot (DAC 2025): "
+        "spatio-temporal FPGA sharing with Big.Little slots"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # Vectorized workload generation; optional because the python
+        # backend is sample-identical (see tests/test_sampling.py).
+        "fast": ["numpy"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

@@ -80,7 +80,7 @@ class BenchResult:
 # ----------------------------------------------------------------------
 # Benchmark payloads
 # ----------------------------------------------------------------------
-def _bench_event_throughput() -> int:
+def _bench_event_throughput(engine_factory=None) -> int:
     """Dispatch rate of chained delay events through the kernel hot lane.
 
     Post-overhaul kernels dispatch bare-delay yields (``yield 1.0``) — the
@@ -90,7 +90,7 @@ def _bench_event_throughput() -> int:
     """
     from .sim import Engine
 
-    engine = Engine()
+    engine = (engine_factory or Engine)()
     n = 5000
 
     if hasattr(engine, "sleep"):
@@ -108,7 +108,7 @@ def _bench_event_throughput() -> int:
     return n
 
 
-def _bench_timeout_alloc() -> int:
+def _bench_timeout_alloc(engine_factory=None) -> int:
     """Dispatch rate of chained ``Engine.timeout`` events.
 
     Unlike the pooled hot lane, every event here allocates a fresh
@@ -116,7 +116,7 @@ def _bench_timeout_alloc() -> int:
     """
     from .sim import Engine
 
-    engine = Engine()
+    engine = (engine_factory or Engine)()
     n = 5000
 
     def ticker():
@@ -129,11 +129,11 @@ def _bench_timeout_alloc() -> int:
     return n
 
 
-def _bench_resource_contention() -> int:
+def _bench_resource_contention(engine_factory=None) -> int:
     """Grant/queue throughput of a contended FIFO mutex."""
     from .sim import Engine, Resource
 
-    engine = Engine()
+    engine = (engine_factory or Engine)()
     resource = Resource(engine, capacity=2)
 
     def worker():
@@ -150,11 +150,11 @@ def _bench_resource_contention() -> int:
     return resource.total_grants
 
 
-def _bench_condition_fanout() -> int:
+def _bench_condition_fanout(engine_factory=None) -> int:
     """AllOf/AnyOf composition over wide fan-ins."""
     from .sim import Engine
 
-    engine = Engine()
+    engine = (engine_factory or Engine)()
     rounds, width = 100, 20
     fired = 0
 
@@ -169,6 +169,33 @@ def _bench_condition_fanout() -> int:
     engine.run()
     assert fired == rounds
     return rounds * width * 2
+
+
+def _bench_deep_pending(engine_factory=None) -> int:
+    """5000 scattered pre-scheduled timeouts, then one drain.
+
+    The deep-pending regime the calendar queue exists for: inserts land
+    across the whole horizon (O(log n) per heap push vs O(1) per bucket
+    append), and the drain consumes whole buckets with one sort each.
+    Chained benches never hold more than a handful of entries, so this is
+    the only spec where queue *depth* dominates.
+    """
+    from .sim import Engine
+
+    engine = (engine_factory or Engine)()
+    n = 5000
+    fired = [0]
+
+    def count(event, fired=fired):
+        fired[0] += 1
+
+    for i in range(n):
+        # Deterministic scatter: coprime stride spreads times across
+        # [0, 997) with fractional offsets exercising bucket boundaries.
+        engine.timeout(float((i * 7919) % 997) + (i % 13) * 0.125).callbacks.append(count)
+    engine.run()
+    assert fired[0] == n
+    return n
 
 
 def _bench_scheduler_single_app() -> int:
@@ -254,19 +281,62 @@ def _bench_fig5_micro() -> int:
     return len(result.reductions) * 6
 
 
+def _on_wheel(payload: Callable[..., int]) -> Callable[[], int]:
+    """Bind a kernel payload to the timing-wheel backend."""
+
+    def run() -> int:
+        from .sim import WheelEngine
+
+        return payload(WheelEngine)
+
+    run.__doc__ = payload.__doc__
+    return run
+
+
 #: Registry, in reporting order.  The first two names are the PR-2
 #: acceptance gates and must keep their pytest-benchmark counterparts'
-#: names (see benchmarks/bench_kernel.py).
+#: names (see benchmarks/bench_kernel.py).  ``*_wheel`` variants run the
+#: identical payload on the calendar-queue kernel so the trajectory keeps
+#: both backends visible.
 BENCHES: Tuple[BenchSpec, ...] = (
     BenchSpec("kernel_event_throughput", "events", _bench_event_throughput, iters=4),
     BenchSpec("scheduler_single_app_run", "items", _bench_scheduler_single_app, iters=4),
     BenchSpec("kernel_timeout_alloc", "events", _bench_timeout_alloc, iters=4),
     BenchSpec("kernel_resource_contention", "grants", _bench_resource_contention, iters=4),
     BenchSpec("kernel_condition_fanout", "events", _bench_condition_fanout, iters=2),
+    BenchSpec("kernel_deep_pending", "events", _bench_deep_pending, iters=4),
+    BenchSpec("kernel_event_throughput_wheel", "events",
+              _on_wheel(_bench_event_throughput), iters=4),
+    BenchSpec("kernel_timeout_alloc_wheel", "events",
+              _on_wheel(_bench_timeout_alloc), iters=4),
+    BenchSpec("kernel_deep_pending_wheel", "events",
+              _on_wheel(_bench_deep_pending), iters=4),
     BenchSpec("scheduler_run_telemetry", "items", _bench_scheduler_telemetry, iters=4),
     BenchSpec("scheduler_stress_sequence", "items", _bench_scheduler_stress_sequence),
     BenchSpec("fig5_micro", "runs", _bench_fig5_micro, quick=False),
 )
+
+#: Kernel payloads the ``--compare`` gate runs on both backends.
+COMPARE_BENCHES: Tuple[Tuple[str, Callable[..., int]], ...] = (
+    ("kernel_event_throughput", _bench_event_throughput),
+    ("kernel_timeout_alloc", _bench_timeout_alloc),
+    ("kernel_resource_contention", _bench_resource_contention),
+    ("kernel_condition_fanout", _bench_condition_fanout),
+    ("kernel_deep_pending", _bench_deep_pending),
+)
+
+#: Minimum candidate/base throughput ratio per compare bench.  The wheel
+#: must *win* on the bare-delay hot lane (its slot register removes the
+#: heap entirely there) and must not lose the deep-pending regime it was
+#: built for; on allocation- and callback-bound benches the queue is a
+#: minority of the cycle budget, so the floors only exclude real
+#: regressions, not noise.
+COMPARE_FLOORS: Dict[str, float] = {
+    "kernel_event_throughput": 1.05,
+    "kernel_timeout_alloc": 0.90,
+    "kernel_deep_pending": 0.90,
+}
+DEFAULT_COMPARE_FLOOR = 0.80
 
 def _measure_overhead_inprocess(pairs: int = 64) -> float:
     """One interpreter's estimate of the enabled-bus overhead.
@@ -355,7 +425,10 @@ def run_benches(
         selected = [spec for spec in BENCHES if spec.name in names]
     else:
         selected = [spec for spec in BENCHES if not quick or spec.quick]
-    n_rounds = rounds if rounds is not None else (2 if quick else 5)
+    # 12 full rounds, pinned: the PR-5 entry was recorded at 5 rounds
+    # while seed/PR-2 used 12, which made best_s comparisons noisier than
+    # they needed to be.  The default is now the trajectory's round count.
+    n_rounds = rounds if rounds is not None else (2 if quick else 12)
     results = []
     for spec in selected:
         iters = max(1, spec.iters // 2) if quick else spec.iters
@@ -377,6 +450,87 @@ def run_benches(
             mean_s=sum(timings) / len(timings),
         ))
     return results
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """One kernel-vs-kernel measurement of a compare bench."""
+
+    name: str
+    candidate: str
+    base: str
+    candidate_throughput: float
+    base_throughput: float
+    floor: float
+
+    @property
+    def ratio(self) -> float:
+        if self.base_throughput <= 0:
+            return 0.0
+        return self.candidate_throughput / self.base_throughput
+
+    @property
+    def ok(self) -> bool:
+        return self.ratio >= self.floor
+
+
+def run_compare(
+    candidate: str = "wheel",
+    base: str = "heap",
+    rounds: Optional[int] = None,
+    quick: bool = False,
+) -> List[CompareResult]:
+    """Run the kernel benches on two backends and compute ratios.
+
+    Rounds are *paired* — each timed round runs the base then the
+    candidate back-to-back — so slow container windows hit both sides,
+    and the best-of-N ratio reflects the kernels rather than the noise.
+    """
+    from .verify.reference import resolve_kernel
+
+    candidate_factory = resolve_kernel(candidate)
+    base_factory = resolve_kernel(base)
+    n_rounds = rounds if rounds is not None else (3 if quick else 12)
+    results = []
+    for name, payload in COMPARE_BENCHES:
+        payload(base_factory)  # warm-up both backends
+        payload(candidate_factory)
+        best = {candidate: float("inf"), base: float("inf")}
+        units = 0
+        for _ in range(n_rounds):
+            for kernel, factory in ((base, base_factory), (candidate, candidate_factory)):
+                start = time.perf_counter()
+                units = payload(factory)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[kernel]:
+                    best[kernel] = elapsed
+        results.append(CompareResult(
+            name=name,
+            candidate=candidate,
+            base=base,
+            candidate_throughput=units / best[candidate],
+            base_throughput=units / best[base],
+            floor=COMPARE_FLOORS.get(name, DEFAULT_COMPARE_FLOOR),
+        ))
+    return results
+
+
+def format_compare_table(results: Sequence[CompareResult]) -> str:
+    lines = []
+    if results:
+        candidate, base = results[0].candidate, results[0].base
+        lines.append(
+            f"{'benchmark':<28s} {base:>14s} {candidate:>14s} "
+            f"{'ratio':>8s} {'floor':>7s}"
+        )
+    for result in results:
+        status = "" if result.ok else "  REGRESSION"
+        lines.append(
+            f"{result.name:<28s} {result.base_throughput:>12,.0f}/s "
+            f"{result.candidate_throughput:>12,.0f}/s "
+            f"{result.ratio:>7.2f}x {result.floor:>6.2f}x{status}"
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -484,6 +638,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: 0.30)")
     parser.add_argument("--note", type=str, default="",
                         help="free-form label stored with the trajectory entry")
+    parser.add_argument("--compare", type=str, default=None,
+                        metavar="CANDIDATE,BASE",
+                        help="run the kernel benches on two backends (e.g. "
+                             "wheel,heap) and fail if the candidate falls "
+                             "below the per-bench ratio floors")
     parser.add_argument("--telemetry-gate", type=float, default=None,
                         metavar="FRACTION",
                         help="fail when the enabled telemetry bus costs more "
@@ -494,6 +653,36 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
+    if args.compare is not None:
+        # Compare mode is a standalone gate: it measures ratios, not
+        # absolute throughputs, so it neither reads nor writes the
+        # trajectory.
+        parts = [part.strip() for part in args.compare.split(",")]
+        if len(parts) != 2 or not all(parts):
+            print(
+                f"error: --compare wants CANDIDATE,BASE (e.g. wheel,heap), "
+                f"got {args.compare!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            comparisons = run_compare(
+                parts[0], parts[1], rounds=args.rounds, quick=args.quick
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(format_compare_table(comparisons))
+        failures = [result for result in comparisons if not result.ok]
+        if failures:
+            print(
+                f"\ncompare gate: {parts[0]} below floor on "
+                f"{', '.join(result.name for result in failures)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\ncompare gate green: {parts[0]} within floors vs {parts[1]}")
+        return 0
     try:
         results = run_benches(quick=args.quick, rounds=args.rounds, names=args.only)
     except KeyError as exc:

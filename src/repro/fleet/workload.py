@@ -14,24 +14,32 @@ two-board cluster never sees:
 * **multi-tenant** — independent tenant streams under different
   congestion regimes, merged into one admission queue.
 
-Every stream is generated from a string-seeded ``random.Random`` (seeded
-via SHA-512 inside CPython, independent of ``PYTHONHASHSEED``), so a
-worker process regenerating a stream always reproduces it bit-identically.
+Every stream is generated from a string-seeded Mersenne-Twister stream
+(seeded via SHA-512 inside CPython, independent of ``PYTHONHASHSEED``), so
+a worker process regenerating a stream always reproduces it bit-identically.
 The shape knobs (period, peak factor, tail index, skew exponent) are
 module constants: a workload is fully described by
 ``(kind, condition, n_apps, batch_range, apps)``, which keeps fleet cases
 representable in the verify fuzzer's flat repro files.
+
+Generation is *phased*: all application names are drawn first, then all
+batch sizes, then all inter-arrival gaps — each phase one contiguous block
+of same-type draws from the stream.  That structure lets
+:class:`~repro.workloads.sampling.BatchSampler` vectorize every phase with
+numpy while its pure-python fallback consumes the identical draws, so the
+two backends are sample-identical by construction (pinned in
+``tests/test_sampling.py``).
 """
 
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..apps.benchmarks import BENCHMARKS
 from ..workloads.generator import BATCH_RANGE, Arrival, Condition
+from ..workloads.sampling import BatchSampler
 
 #: The recognized stream shapes, in registry order.
 FLEET_WORKLOAD_KINDS = (
@@ -87,49 +95,69 @@ class FleetWorkload:
     def app_names(self) -> List[str]:
         return list(self.apps) if self.apps else list(BENCHMARKS)
 
-    def arrivals(self, seed: int, index: int = 0) -> List[Arrival]:
-        """The global arrival stream under ``(seed, index)``."""
+    def arrivals(
+        self, seed: int, index: int = 0, backend: str = "auto"
+    ) -> List[Arrival]:
+        """The global arrival stream under ``(seed, index)``.
+
+        Drawn in three phases (names, batch sizes, gaps) so the numpy
+        backend vectorizes whole blocks; ``backend`` is passed through to
+        :class:`BatchSampler` (``"auto"``/``"numpy"``/``"python"`` — all
+        sample-identical).
+        """
         if self.kind == "multi-tenant":
-            return self._multi_tenant(seed, index)
-        rng = random.Random(f"fleet/{self.kind}/{seed}/{index}")
+            return self._multi_tenant(seed, index, backend)
+        sampler = BatchSampler(f"fleet/{self.kind}/{seed}/{index}", backend)
         names = self.app_names()
+        n = self.n_apps
         lo_batch, hi_batch = self.batch_range
         interval_lo, interval_hi = self.condition.interval_range
-        base_interval = (interval_lo + interval_hi) / 2.0
+        # Phase 1: application names.
         if self.kind == "hot-skew":
             weights = [1.0 / (rank + 1) ** HOT_SKEW_EXPONENT
                        for rank in range(len(names))]
-        arrivals: List[Arrival] = []
+            name_indices = sampler.weighted_indices(weights, n)
+        else:
+            name_indices = sampler.choice_indices(len(names), n)
+        # Phase 2: batch sizes.
+        batch_sizes = sampler.randint_block(lo_batch, hi_batch, n)
+        # Phase 3: inter-arrival gaps (one block draw; the diurnal rate
+        # modulation is a sequential transform of the drawn block, not
+        # extra stream consumption).
+        times: List[float] = []
         t = 0.0
-        for _ in range(self.n_apps):
-            if self.kind == "hot-skew":
-                name = rng.choices(names, weights=weights)[0]
-            else:
-                name = rng.choice(names)
-            arrivals.append(
-                Arrival(
-                    app_name=name,
-                    batch_size=rng.randint(lo_batch, hi_batch),
-                    time_ms=t,
-                )
-            )
-            if self.kind == "diurnal":
+        if self.kind == "diurnal":
+            raw_gaps = sampler.uniform_block(interval_lo, interval_hi, n)
+            for gap in raw_gaps:
+                times.append(t)
                 # Arrival *rate* swings sinusoidally between 1x and the
                 # peak factor; intervals divide by the current rate.
                 phase = 2.0 * math.pi * t / DIURNAL_PERIOD_MS
                 rate = 1.0 + (DIURNAL_PEAK_FACTOR - 1.0) * 0.5 * (1.0 - math.cos(phase))
-                t += rng.uniform(interval_lo, interval_hi) / rate
-            elif self.kind == "bursty":
-                # Pareto gaps rescaled so the mean gap stays at the base
-                # regime's mean interval (alpha/(alpha-1) is the Pareto mean).
-                scale = base_interval * (BURSTY_TAIL_ALPHA - 1.0) / BURSTY_TAIL_ALPHA
-                t += scale * rng.paretovariate(BURSTY_TAIL_ALPHA)
-            else:  # uniform, hot-skew
-                t += rng.uniform(interval_lo, interval_hi)
-        return arrivals
+                t += gap / rate
+        elif self.kind == "bursty":
+            # Pareto gaps rescaled so the mean gap stays at the base
+            # regime's mean interval (alpha/(alpha-1) is the Pareto mean).
+            base_interval = (interval_lo + interval_hi) / 2.0
+            scale = base_interval * (BURSTY_TAIL_ALPHA - 1.0) / BURSTY_TAIL_ALPHA
+            for variate in sampler.pareto_block(BURSTY_TAIL_ALPHA, n):
+                times.append(t)
+                t += scale * variate
+        else:  # uniform, hot-skew
+            for gap in sampler.uniform_block(interval_lo, interval_hi, n):
+                times.append(t)
+                t += gap
+        return [
+            Arrival(app_name=names[name_indices[i]],
+                    batch_size=batch_sizes[i],
+                    time_ms=times[i])
+            for i in range(n)
+        ]
 
-    def _multi_tenant(self, seed: int, index: int) -> List[Arrival]:
-        """Independent per-tenant streams merged by arrival time."""
+    def _multi_tenant(
+        self, seed: int, index: int, backend: str = "auto"
+    ) -> List[Arrival]:
+        """Independent per-tenant phased streams merged by arrival time."""
         names = self.app_names()
         lo_batch, hi_batch = self.batch_range
         merged: List[Tuple[float, int, int, Arrival]] = []
@@ -142,16 +170,21 @@ class FleetWorkload:
             remaining -= count
             if count <= 0:
                 continue
-            rng = random.Random(f"fleet/multi-tenant/{seed}/{index}/{label}")
+            sampler = BatchSampler(
+                f"fleet/multi-tenant/{seed}/{index}/{label}", backend
+            )
             interval_lo, interval_hi = condition.interval_range
+            name_indices = sampler.choice_indices(len(names), count)
+            batch_sizes = sampler.randint_block(lo_batch, hi_batch, count)
+            gaps = sampler.uniform_block(interval_lo, interval_hi, count)
             t = 0.0
             for order in range(count):
                 arrival = Arrival(
-                    app_name=rng.choice(names),
-                    batch_size=rng.randint(lo_batch, hi_batch),
+                    app_name=names[name_indices[order]],
+                    batch_size=batch_sizes[order],
                     time_ms=t,
                 )
                 merged.append((t, tenant_index, order, arrival))
-                t += rng.uniform(interval_lo, interval_hi)
+                t += gaps[order]
         merged.sort(key=lambda entry: entry[:3])
         return [arrival for _, _, _, arrival in merged]

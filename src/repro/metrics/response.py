@@ -4,14 +4,98 @@ Response time of an application is completion minus arrival.  The paper
 reports *relative response-time reduction* (baseline mean over system
 mean, higher is better) and *relative tail latency* (system percentile
 over baseline percentile, lower is better).
+
+numpy is optional here (the core package must import without the
+``repro[fast]`` extra).  The pure-python fallbacks are not approximations:
+``_pairwise_sum`` replicates numpy's pairwise summation (8-way unrolled
+blocks of 128, halved recursion above) and ``_percentile_linear``
+replicates ``np.percentile``'s linear-interpolation ``_lerp``, so means
+and percentiles are **bit-identical** with and without numpy — the fig5
+golden pins exact equality and the no-numpy CI job runs the same golden.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+#: numpy's pairwise-summation block size (PW_BLOCKSIZE).
+_PW_BLOCKSIZE = 128
+
+
+def _pairwise_sum(values: Sequence[float], start: int, n: int) -> float:
+    """numpy's pairwise summation over ``values[start:start+n]``.
+
+    Mirrors ``pairwise_sum_@TYPE@`` in numpy's umath loops: a plain
+    accumulation below 8 elements, an 8-accumulator unrolled loop up to
+    the block size, and above that a recursive halving aligned down to a
+    multiple of 8 — the exact operation order, hence the exact float.
+    """
+    if n < 8:
+        res = 0.0
+        for i in range(start, start + n):
+            res += values[i]
+        return res
+    if n <= _PW_BLOCKSIZE:
+        r0, r1, r2, r3 = values[start], values[start + 1], values[start + 2], values[start + 3]
+        r4, r5, r6, r7 = values[start + 4], values[start + 5], values[start + 6], values[start + 7]
+        i = start + 8
+        end = start + n - (n % 8)
+        while i < end:
+            r0 += values[i]
+            r1 += values[i + 1]
+            r2 += values[i + 2]
+            r3 += values[i + 3]
+            r4 += values[i + 4]
+            r5 += values[i + 5]
+            r6 += values[i + 6]
+            r7 += values[i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        for i in range(end, start + n):
+            res += values[i]
+        return res
+    half = n // 2
+    half -= half % 8
+    return _pairwise_sum(values, start, half) + _pairwise_sum(values, start + half, n - half)
+
+
+def _mean(values: Sequence[float]) -> float:
+    """``float(np.mean(values))``, numpy-free but bit-identical."""
+    if np is not None:
+        return float(np.mean(values))
+    values = [float(v) for v in values]
+    return _pairwise_sum(values, 0, len(values)) / len(values)
+
+
+def _percentile_linear(values: Sequence[float], q: float) -> float:
+    """``float(np.percentile(values, q))`` (method="linear"), bit-identical.
+
+    numpy computes the virtual index ``q/100 * (n-1)``, splits it into
+    floor and fractional parts, and lerps between the two neighbouring
+    order statistics with ``a + t*(b-a)`` — switching to ``b - (b-a)*(1-t)``
+    when ``t >= 0.5`` (the symmetric form it uses to cut rounding error).
+    """
+    if np is not None:
+        return float(np.percentile(values, q))
+    data = sorted(float(v) for v in values)
+    n = len(data)
+    virtual = (q / 100.0) * (n - 1)
+    previous = math.floor(virtual)
+    gamma = virtual - previous
+    lo = min(max(int(previous), 0), n - 1)
+    hi = min(lo + 1, n - 1)
+    a, b = data[lo], data[hi]
+    diff = b - a
+    if gamma >= 0.5:
+        return b - diff * (1.0 - gamma)
+    return a + diff * gamma
 
 
 @dataclass
@@ -21,17 +105,24 @@ class ResponseStats:
     samples_ms: List[float] = field(default_factory=list)
 
     def extend(self, values: Iterable[float]) -> None:
-        """Append ``values`` after one vectorized validation pass."""
+        """Append ``values`` after one validation pass."""
         values = values if isinstance(values, list) else list(values)
         if not values:
             return
-        arr = np.asarray(values, dtype=float)
-        if arr.ndim != 1:
-            raise ValueError(f"expected a flat sample sequence, got shape {arr.shape}")
-        negative = np.where(arr < 0)[0]
-        if negative.size:
-            value = values[int(negative[0])]
-            raise ValueError(f"negative response time {value}")
+        if np is not None:
+            arr = np.asarray(values, dtype=float)
+            if arr.ndim != 1:
+                raise ValueError(f"expected a flat sample sequence, got shape {arr.shape}")
+            negative = np.where(arr < 0)[0]
+            if negative.size:
+                value = values[int(negative[0])]
+                raise ValueError(f"negative response time {value}")
+        else:
+            for value in values:
+                if isinstance(value, (list, tuple)):
+                    raise ValueError("expected a flat sample sequence")
+                if float(value) < 0:
+                    raise ValueError(f"negative response time {value}")
         self.samples_ms.extend(values)
 
     @property
@@ -40,14 +131,14 @@ class ResponseStats:
 
     def mean(self) -> float:
         self._require_samples()
-        return float(np.mean(self.samples_ms))
+        return _mean(self.samples_ms)
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (q in [0, 100])."""
         self._require_samples()
         if not (0.0 <= q <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        return float(np.percentile(self.samples_ms, q))
+        return _percentile_linear(self.samples_ms, q)
 
     def p95(self) -> float:
         return self.percentile(95.0)
@@ -78,9 +169,9 @@ def summarize_runs(runs: Sequence[ResponseStats]) -> Dict[str, float]:
     p95s = [run.p95() for run in runs]
     p99s = [run.p99() for run in runs]
     return {
-        "mean_ms": float(np.mean(means)),
-        "p95_ms": float(np.mean(p95s)),
-        "p99_ms": float(np.mean(p99s)),
+        "mean_ms": _mean(means),
+        "p95_ms": _mean(p95s),
+        "p99_ms": _mean(p99s),
         "runs": float(len(runs)),
         "samples": float(sum(run.count for run in runs)),
     }
@@ -88,9 +179,13 @@ def summarize_runs(runs: Sequence[ResponseStats]) -> Dict[str, float]:
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, the conventional aggregate for speedup ratios."""
-    arr = np.asarray(values, dtype=float)
-    if arr.size == 0:
+    values = [float(v) for v in values]
+    if not values:
         raise ValueError("no values")
-    if np.any(arr <= 0):
+    if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
-    return float(np.exp(np.mean(np.log(arr))))
+    # math.log/exp, not np.log/exp: scalar libm calls round identically
+    # everywhere, while numpy's SIMD transcendentals may differ by a ULP
+    # between builds — and then the two environments would disagree.
+    logs = [math.log(v) for v in values]
+    return math.exp(_mean(logs))

@@ -20,9 +20,6 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-from scipy.optimize import Bounds, LinearConstraint, milp
-
 from ..apps.application import ApplicationSpec
 from ..apps.pipeline import estimate_big_makespan_ms, estimate_makespan_ms
 
@@ -142,6 +139,17 @@ def allocate_slots_milp(
             f"milp allocator needs slots >= apps ({n_apps} apps, {total_slots} slots); "
             "queue the surplus apps first"
         )
+    # numpy/scipy are needed only by this reference formulation, never by
+    # the runtime exact search above — import lazily so the core package
+    # stays dependency-free without the repro[fast] extra.
+    try:
+        import numpy as np
+        from scipy.optimize import Bounds, LinearConstraint, milp
+    except ImportError as exc:  # pragma: no cover - exercised by no-numpy CI
+        raise RuntimeError(
+            "allocate_slots_milp requires numpy and scipy "
+            "(pip install repro[fast] scipy)"
+        ) from exc
     options: List[List[int]] = []
     costs: List[float] = []
     index: List[Tuple[int, int]] = []

@@ -305,6 +305,8 @@ class TaskRun:
         item_ms = self.task.exec_time_ms + scheduler.params.inter_slot_transfer_ms
         chunk = scheduler.pipeline_chunk_items if scheduler.item_pipelining else None
         last_item = batch - 1
+        item_event = app.item_event
+        mark_item_done = app.mark_item_done
         core = scheduler._core
         acquire = core.acquire
         release = core.release
@@ -332,7 +334,7 @@ class TaskRun:
             if k > 0 and done_counts[k - 1] <= upstream_item:
                 self._waiting_dependency = True
                 try:
-                    yield app.item_event(k - 1, upstream_item)
+                    yield item_event(k - 1, upstream_item)
                 except Interrupt:
                     break
                 finally:
@@ -363,7 +365,7 @@ class TaskRun:
             # ``sleep`` recycles the timeout object: the batch loop runs
             # allocation-free in steady state.
             yield item_ms
-            app.mark_item_done(k, item)
+            mark_item_done(k, item)
             self.items_this_load += 1
         self.scheduler.on_run_finished(self, preempted=self.preempt_requested)
         return self.items_this_load

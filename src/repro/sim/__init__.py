@@ -5,6 +5,7 @@ from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
 from .resources import Request, Resource, Store
 from .rng import SeededStreams, derive_seed
 from .trace import NULL_TRACER, TraceRecord, Tracer
+from .wheel import WheelEngine
 
 __all__ = [
     "AllOf",
@@ -22,5 +23,6 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "WheelEngine",
     "derive_seed",
 ]

@@ -117,6 +117,15 @@ class Engine:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def pending_count(self) -> int:
+        """Number of scheduled entries the engine still holds.
+
+        Backend-neutral: calendar kernels (:class:`~repro.sim.wheel.\
+WheelEngine`) override this to count every custody stage, so invariant
+        checkers must use it instead of reading ``_heap``.
+        """
+        return len(self._heap)
+
     def _dispatch(self, event: Event) -> None:
         """Run one popped event's waiters (kept in sync with ``run``).
 

@@ -1,0 +1,676 @@
+"""The calendar-queue kernel: a bucketed timing wheel behind ``Engine``.
+
+:class:`WheelEngine` replaces the global binary heap with the classic
+calendar-queue layout (Brown 1988): a ring of fixed-width buckets indexed
+by ``int((t - base) / width)``, an *overflow* heap for entries beyond the
+ring, and — the piece that actually pays on this workload — a one-entry
+*slot register* for the dominant case of a single pending timeout.
+
+Custody of a scheduled entry moves through three stages:
+
+1. **Staging** — the inherited ``_heap`` list.  The flattened constructors
+   in :mod:`repro.sim.events` push ``(time, priority, seq, event)`` tuples
+   straight into ``engine._heap``; the wheel treats that list as an inbox
+   and drains it at the top of every dispatch iteration, so the event
+   classes need no knowledge of the backend.
+2. **Slot** — when a timeout is created while *nothing else* is pending,
+   it parks in three scalar slots (``_slot_t``/``_slot_s``/``_slot_e``)
+   instead of any queue: no tuple, no heap discipline.  Model loops that
+   ``yield engine.timeout(...)`` or a bare delay run entirely
+   slot-to-slot, and :meth:`run` chains such dispatches without touching
+   the outer loop.
+3. **Wheel** — everything else lands in a bucket (O(1) append) or, past
+   the ring horizon, in the overflow heap.  A min-heap of occupied bucket
+   indices (``_occ``) finds the next bucket without scanning the ring;
+   the chosen bucket is sorted once and consumed by index, and inserts
+   that land in the bucket *while it drains* go to a side heap merged by
+   tuple comparison — this is the batched same-timestamp dispatch: one
+   sort resumes every co-scheduled waiter without re-entering a heap per
+   event.
+
+Ordering is bit-identical to :class:`~repro.sim.engine.Engine` because the
+bucket index function is monotone in ``t`` under IEEE-754 (so cross-bucket
+order is safe even with rounding), same-bucket entries compare as full
+``(time, priority, seq)`` tuples (so FIFO/urgent tie-breaks are exact),
+overflow entries are strictly later than every bucket entry (monotonicity
+again), and the slot always holds a complete, eagerly-sequenced entry (a
+deferred seq would mis-order against entries staged by callbacks at the
+same timestamp).  The wheel re-anchors ``base`` — and retunes ``width``
+from the observed spread of the batch being placed — only at moments when
+it holds nothing, which is exactly when the index function may change
+freely.
+
+The differential oracle (``repro verify --kernel wheel``) pins all of the
+above against the reference kernel; ``tests/test_wheel_kernel.py`` pins
+the edge cases (bucket boundaries, overflow promotion, interrupts mid
+chain, cancelled timeouts in drained buckets).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional
+
+from .engine import EmptySchedule, Engine
+from .events import Event, PooledTimeout, Timeout
+
+#: Ring size.  Measured fig-campaign runs keep at most ~10 entries pending,
+#: so the ring mostly provides headroom for fleet scenarios; 64 buckets
+#: keep the lazy allocation cheap.
+BUCKET_COUNT = 64
+
+#: Floor guarding against zero/denormal widths (all-zero delays).
+_MIN_WIDTH = 1e-9
+
+
+class WheelEngine(Engine):
+    """:class:`Engine` with a timing-wheel calendar instead of one heap.
+
+    Drop-in compatible: the event factories, ``enqueue``, ``peek``,
+    ``step`` and ``run`` keep their contracts, and traces are bit-identical
+    to the heap kernel (the oracle's three-way sweep enforces this).
+
+    The calendar is engaged *adaptively*: while fewer than
+    :attr:`WHEEL_THRESHOLD` entries are pending, staged entries are popped
+    straight off the staging heap (identical to the heap kernel, whose
+    O(log n) is unbeatable at shallow depth); past the threshold, entries
+    move into bucket custody where inserts are O(1) and a bucket drain
+    costs one sort.  Tests pin both regimes by subclassing with a
+    threshold of 1.
+    """
+
+    #: Pending-entry depth at which bucket custody starts paying for its
+    #: constant factors.  Class attribute so tests can force either regime.
+    WHEEL_THRESHOLD = 128
+
+    __slots__ = (
+        "_slot_t", "_slot_s", "_slot_e",
+        "_wcount", "_buckets", "_occ", "_side", "_overflow",
+        "_base", "_width", "_inv_width",
+        "_active", "_active_i",
+    )
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        super().__init__(start_time)
+        self._slot_t = 0.0
+        self._slot_s = 0
+        self._slot_e: Optional[Event] = None
+        #: Entries under wheel custody (buckets + side + overflow).
+        self._wcount = 0
+        #: Bucket ring, allocated on first use so slot-only runs never pay.
+        self._buckets: Optional[List[List[Any]]] = None
+        self._occ: List[int] = []
+        self._side: List[Any] = []
+        self._overflow: List[Any] = []
+        self._base = start_time
+        self._width = 1.0
+        self._inv_width = 1.0
+        #: Index of the bucket currently being consumed, -1 when none.
+        self._active = -1
+        self._active_i = 0
+
+    # ------------------------------------------------------------------
+    # Event factories (slot-aware)
+    # ------------------------------------------------------------------
+    def timeout(
+        self,
+        delay: float,
+        value: Any = None,
+        _new=Timeout.__new__,
+        _cls=Timeout,
+    ) -> Timeout:
+        """Create an event firing ``delay`` time units from now.
+
+        Mirrors :meth:`Engine.timeout` (flattened constructor, kept in
+        sync) but parks the entry in the slot register when nothing else
+        is pending — the common case in sequential model loops.  The
+        ``_new``/``_cls`` defaults are load-time bindings, not parameters.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        timeout = _new(_cls)
+        timeout.engine = self
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._fast_process = None
+        timeout.delay = delay
+        # The seq is allocated eagerly even for the slot: entries staged
+        # later at the same (time, priority) must order after this one.
+        self._seq = seq = self._seq + 1
+        wcount = self._wcount
+        if self._slot_e is None and not wcount and not self._heap:
+            self._slot_t = self.now + delay
+            self._slot_s = seq
+            self._slot_e = timeout
+        elif wcount:
+            # Engaged wheel: O(1) insert, no heap discipline (inlined
+            # _wheel_insert, kept in sync).
+            when = self.now + delay
+            rel = int((when - self._base) * self._inv_width)
+            if rel < 0:
+                rel = 0
+            if rel < BUCKET_COUNT:
+                if rel <= self._active:
+                    heappush(self._side, (when, 1, seq, timeout))
+                else:
+                    bucket = self._buckets[rel]
+                    if not bucket:
+                        heappush(self._occ, rel)
+                    bucket.append((when, 1, seq, timeout))
+            else:
+                heappush(self._overflow, (when, 1, seq, timeout))
+            self._wcount = wcount + 1
+        else:
+            heap = self._heap
+            heappush(heap, (self.now + delay, 1, seq, timeout))  # 1 == NORMAL
+            if len(heap) >= self.WHEEL_THRESHOLD:
+                self._engage()
+        return timeout
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :meth:`timeout`; see :meth:`Engine.sleep` for the
+        reuse contract.  Slot-aware like :meth:`timeout`."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout._fast_process = None
+            timeout._value = value
+            timeout.delay = delay
+        else:
+            timeout = PooledTimeout.__new__(PooledTimeout)
+            timeout.engine = self
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._fast_process = None
+            timeout.delay = delay
+        self._seq = seq = self._seq + 1
+        if self._slot_e is None and not self._wcount and not self._heap:
+            self._slot_t = self.now + delay
+            self._slot_s = seq
+            self._slot_e = timeout
+        else:
+            self._schedule((self.now + delay, 1, seq, timeout))  # 1 == NORMAL
+        return timeout
+
+    # ------------------------------------------------------------------
+    # Wheel internals
+    # ------------------------------------------------------------------
+    def _schedule(self, entry: Any) -> None:
+        """Queue a non-slot entry: O(1) into bucket custody when the wheel
+        is engaged, otherwise onto the staging heap (engaging the wheel
+        once staging crosses the threshold)."""
+        if self._wcount:
+            self._wheel_insert(entry)
+            return
+        heap = self._heap
+        heappush(heap, entry)
+        if len(heap) >= self.WHEEL_THRESHOLD:
+            self._engage()
+
+    def _engage(self) -> None:
+        """Move staging — and the slot, preserving the invariant "slot
+        engaged => wheel empty" — into bucket custody."""
+        event = self._slot_e
+        if event is not None:
+            self._slot_e = None
+            heappush(self._heap, (self._slot_t, 1, self._slot_s, event))
+        self._drain_staging()
+
+    def _wheel_insert(self, entry: Any) -> None:
+        """Place one entry into bucket custody (wheel already anchored)."""
+        rel = int((entry[0] - self._base) * self._inv_width)
+        if rel < 0:
+            rel = 0
+        if rel < BUCKET_COUNT:
+            if rel <= self._active:
+                heappush(self._side, entry)
+            else:
+                bucket = self._buckets[rel]
+                if not bucket:
+                    heappush(self._occ, rel)
+                bucket.append(entry)
+        else:
+            heappush(self._overflow, entry)
+        self._wcount += 1
+    def _drain_staging(self) -> None:
+        """Move every staged entry into wheel custody.
+
+        Called only with a non-empty staging list and an empty slot (the
+        caller spills the slot first so ordering is decided in one place).
+        """
+        heap = self._heap
+        overflow = self._overflow
+        buckets = self._buckets
+        if buckets is None:
+            self._buckets = buckets = [[] for _ in range(BUCKET_COUNT)]
+        if not self._wcount:
+            # Idle wheel: re-anchor at the earliest staged entry and size
+            # the buckets from the observed spread of this batch, leaving
+            # half the ring as headroom.  Only here — with entries in
+            # flight the index function must not move.
+            self._base = base = heap[0][0]
+            span = max(heap)[0] - base
+            if span > 0.0:
+                width = span / (BUCKET_COUNT // 2)
+                if width < _MIN_WIDTH:
+                    width = _MIN_WIDTH
+                self._width = width
+                self._inv_width = 1.0 / width
+            # span == 0 (single entry / all same time): keep the previous
+            # width — any width maps one timestamp to one bucket.
+        base = self._base
+        inv = self._inv_width
+        active = self._active
+        side = self._side
+        occ = self._occ
+        count = self._wcount
+        for entry in heap:  # placement needs no order: visit the raw list
+            t = entry[0]
+            rel = int((t - base) * inv)
+            if rel < 0:
+                # now (and thus t) can sit before base right after a run()
+                # stopped at a horizon ahead of a re-anchored wheel; the
+                # clamp keeps the index function monotone, which is all
+                # ordering needs (bucket 0 sorts itself at activation).
+                rel = 0
+            if rel < BUCKET_COUNT:
+                if rel <= active:
+                    # Lands in (or before) the bucket being drained: merge
+                    # through the side heap so tuple order decides.
+                    heappush(side, entry)
+                else:
+                    bucket = buckets[rel]
+                    if not bucket:
+                        heappush(occ, rel)
+                    bucket.append(entry)
+            else:
+                heappush(overflow, entry)
+            count += 1
+        heap.clear()
+        self._wcount = count
+
+    def _wheel_pop(self) -> Optional[Any]:
+        """Remove and return the globally next entry, or None if empty."""
+        while True:
+            active = self._active
+            if active >= 0:
+                bucket = self._buckets[active]
+                i = self._active_i
+                side = self._side
+                if i < len(bucket):
+                    entry = bucket[i]
+                    if side and side[0] < entry:
+                        self._wcount -= 1
+                        return heappop(side)
+                    self._active_i = i + 1
+                    self._wcount -= 1
+                    return entry
+                if side:
+                    self._wcount -= 1
+                    return heappop(side)
+                bucket.clear()
+                self._active = -1
+                continue
+            if not self._wcount:
+                return None
+            overflow = self._overflow
+            if self._wcount > len(overflow):
+                # Activate the earliest occupied bucket: sort once, then
+                # consume by index (batched same-timestamp dispatch).
+                occ = self._occ
+                buckets = self._buckets
+                while True:
+                    idx = heappop(occ)
+                    if buckets[idx]:
+                        break
+                bucket = buckets[idx]
+                bucket.sort()
+                self._active = idx
+                self._active_i = 0
+                continue
+            # Only the overflow holds entries: re-anchor on its minimum,
+            # retune from the overflow's spread, and promote everything
+            # now inside the ring horizon.
+            self._base = base = overflow[0][0]
+            span = max(overflow)[0] - base
+            if span > 0.0:
+                width = span / (BUCKET_COUNT // 2)
+                if width < _MIN_WIDTH:
+                    width = _MIN_WIDTH
+                self._width = width
+                self._inv_width = 1.0 / width
+            inv = self._inv_width
+            buckets = self._buckets
+            occ = self._occ
+            while overflow:
+                rel = int((overflow[0][0] - base) * inv)
+                if rel >= BUCKET_COUNT:
+                    # Heap order + monotone index: everything left is
+                    # beyond the ring too.
+                    break
+                entry = heappop(overflow)
+                bucket = buckets[rel]
+                if not bucket:
+                    heappush(occ, rel)
+                bucket.append(entry)
+            # base == overflow min, so at least one entry promoted.
+            continue
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Scheduled entries across staging, slot and wheel."""
+        return (
+            len(self._heap)
+            + (self._slot_e is not None)
+            + self._wcount
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        heap = self._heap
+        best = heap[0][0] if heap else float("inf")
+        if self._slot_e is not None and self._slot_t < best:
+            best = self._slot_t
+        if self._wcount:
+            active = self._active
+            if active >= 0:
+                bucket = self._buckets[active]
+                i = self._active_i
+                if i < len(bucket) and bucket[i][0] < best:
+                    best = bucket[i][0]
+            side = self._side
+            if side and side[0][0] < best:
+                best = side[0][0]
+            occ = self._occ
+            buckets = self._buckets
+            while occ and not buckets[occ[0]]:
+                heappop(occ)  # stale index: discard (carries no info)
+            if occ:
+                earliest = min(buckets[occ[0]])[0]
+                if earliest < best:
+                    best = earliest
+            overflow = self._overflow
+            if overflow and overflow[0][0] < best:
+                best = overflow[0][0]
+        return best
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        event = self._slot_e
+        if event is not None:
+            self._slot_e = None
+            heappush(self._heap, (self._slot_t, 1, self._slot_s, event))
+        if self._wcount or len(self._heap) >= self.WHEEL_THRESHOLD:
+            if self._heap:
+                self._drain_staging()
+            entry = self._wheel_pop()
+            if entry is None:
+                raise EmptySchedule()
+        else:
+            try:
+                entry = heappop(self._heap)
+            except IndexError:
+                raise EmptySchedule() from None
+        self.now = entry[0]
+        self._dispatch(entry[3])
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queues drain or the clock reaches ``until``.
+
+        Two dispatch bodies share the loop (both faithful copies of
+        :meth:`Engine.run`'s inlined fast lane, kept in sync): the *chain*
+        body below dispatches slot-to-slot without re-entering the outer
+        loop, the *general* body serves everything the wheel holds.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until ({until}) is in the past (now={self.now})")
+        horizon = float("inf") if until is None else until
+        heap = self._heap          # staging inbox
+        pool = self._timeout_pool
+        push = heappush
+        pop = heappop
+        threshold = self.WHEEL_THRESHOLD
+        while True:
+            if not heap:
+                event = self._slot_e
+                if event is not None:
+                    when = self._slot_t
+                    if when > horizon:
+                        break  # parked beyond the horizon: stays in slot
+                    # ---- slot chain fast path (inlined Process._resume) ----
+                    self._slot_e = None
+                    self.now = when
+                    popped = event
+                    process = event._fast_process
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if process is not None:
+                        while True:
+                            try:
+                                if event._ok:
+                                    target = process._send(event._value)
+                                else:
+                                    event._defused = True
+                                    target = process._throw(event._value)
+                            except StopIteration as stop:
+                                process._ok = True
+                                process._value = stop.value
+                                self._seq = seq = self._seq + 1
+                                push(heap, (when, 1, seq, process))  # 1 == NORMAL
+                            except BaseException as error:  # noqa: BLE001
+                                process._ok = False
+                                process._value = error
+                                self._seq = seq = self._seq + 1
+                                push(heap, (when, 1, seq, process))
+                            else:
+                                if isinstance(target, Event):
+                                    tcallbacks = target.callbacks
+                                    if tcallbacks is None:
+                                        # Already dispatched: feed it back in.
+                                        event = target
+                                        continue
+                                    if target._fast_process is None and not tcallbacks:
+                                        target._fast_process = process
+                                        process._target = target
+                                        # Chain: the yielded event is the one
+                                        # just parked in the slot and nothing
+                                        # else is pending — dispatch it now.
+                                        if (
+                                            not callbacks
+                                            and target is self._slot_e
+                                            and not heap
+                                        ):
+                                            nwhen = self._slot_t
+                                            if nwhen <= horizon:
+                                                if type(popped) is PooledTimeout:
+                                                    popped.callbacks = callbacks
+                                                    pool.append(popped)
+                                                self._slot_e = None
+                                                self.now = when = nwhen
+                                                popped = event = target
+                                                callbacks = event.callbacks
+                                                event.callbacks = None
+                                                continue
+                                    else:
+                                        tcallbacks.append(process._resume)
+                                        process._target = target
+                                else:
+                                    tcls = type(target)
+                                    if (tcls is float or tcls is int) and target >= 0:
+                                        # Bare-delay shorthand: re-arm a pooled
+                                        # sleep and — the slot is free and the
+                                        # wheel empty here — chain directly.
+                                        if pool:
+                                            timeout = pool.pop()
+                                            timeout._fast_process = process
+                                            timeout._value = None
+                                            timeout.delay = target
+                                            process._target = timeout
+                                            self._seq = seq = self._seq + 1
+                                            nwhen = when + target
+                                            if self._slot_e is not None or self._wcount:
+                                                # The send parked its own
+                                                # timeout in the slot (or
+                                                # engaged the wheel): stage
+                                                # ours, the outer loop sorts
+                                                # them out.
+                                                push(heap, (nwhen, 1, seq, timeout))
+                                            elif (
+                                                not heap
+                                                and not callbacks
+                                                and nwhen <= horizon
+                                            ):
+                                                if type(popped) is PooledTimeout:
+                                                    popped.callbacks = callbacks
+                                                    pool.append(popped)
+                                                self.now = when = nwhen
+                                                popped = event = timeout
+                                                callbacks = event.callbacks
+                                                event.callbacks = None
+                                                continue
+                                            else:
+                                                self._slot_t = nwhen
+                                                self._slot_s = seq
+                                                self._slot_e = timeout
+                                        else:
+                                            timeout = PooledTimeout(self, target)
+                                            timeout._fast_process = process
+                                            process._target = timeout
+                                    else:
+                                        if tcls is float or tcls is int:
+                                            err: BaseException = RuntimeError(
+                                                f"process yielded a negative delay: {target!r}"
+                                            )
+                                        else:
+                                            err = RuntimeError(
+                                                f"process yielded a non-event: {target!r}"
+                                            )
+                                        process._generator.close()
+                                        process._ok = False
+                                        process._value = err
+                                        self._seq = seq = self._seq + 1
+                                        push(heap, (when, 1, seq, process))
+                            break
+                        if not callbacks:
+                            if type(popped) is PooledTimeout:
+                                popped.callbacks = callbacks
+                                pool.append(popped)
+                            continue
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(popped)
+                    if not popped._ok and not getattr(popped, "_defused", False):
+                        raise popped._value
+                    continue
+                if not self._wcount:
+                    break
+                entry = self._wheel_pop()
+            else:
+                # Staged entries exist: spill the slot so ordering is
+                # decided by one structure.
+                event = self._slot_e
+                if event is not None:
+                    self._slot_e = None
+                    push(heap, (self._slot_t, 1, self._slot_s, event))
+                if self._wcount or len(heap) >= threshold:
+                    self._drain_staging()
+                    entry = self._wheel_pop()
+                else:
+                    # Shallow pending set: the staging heap IS the queue —
+                    # identical to the heap kernel, no custody transfer.
+                    entry = pop(heap)
+            when = entry[0]
+            if when > horizon:
+                push(heap, entry)  # beyond the horizon: back to staging
+                break
+            # ---- general dispatch (mirrors Engine.run, kept in sync) ----
+            popped = event = entry[3]
+            self.now = when
+            process = event._fast_process
+            callbacks = event.callbacks
+            event.callbacks = None
+            if process is not None:
+                while True:
+                    try:
+                        if event._ok:
+                            target = process._send(event._value)
+                        else:
+                            event._defused = True
+                            target = process._throw(event._value)
+                    except StopIteration as stop:
+                        process._ok = True
+                        process._value = stop.value
+                        self._seq = seq = self._seq + 1
+                        push(heap, (when, 1, seq, process))  # 1 == NORMAL
+                    except BaseException as error:  # noqa: BLE001
+                        process._ok = False
+                        process._value = error
+                        self._seq = seq = self._seq + 1
+                        push(heap, (when, 1, seq, process))
+                    else:
+                        if isinstance(target, Event):
+                            tcallbacks = target.callbacks
+                            if tcallbacks is None:
+                                event = target
+                                continue
+                            if target._fast_process is None and not tcallbacks:
+                                target._fast_process = process
+                            else:
+                                tcallbacks.append(process._resume)
+                            process._target = target
+                        else:
+                            tcls = type(target)
+                            if (tcls is float or tcls is int) and target >= 0:
+                                if pool:
+                                    timeout = pool.pop()
+                                    timeout._fast_process = process
+                                    timeout._value = None
+                                    timeout.delay = target
+                                    self._seq = seq = self._seq + 1
+                                    if (
+                                        self._slot_e is None
+                                        and not self._wcount
+                                        and not heap
+                                    ):
+                                        self._slot_t = when + target
+                                        self._slot_s = seq
+                                        self._slot_e = timeout
+                                    else:
+                                        push(heap, (when + target, 1, seq, timeout))
+                                else:
+                                    timeout = PooledTimeout(self, target)
+                                    timeout._fast_process = process
+                                process._target = timeout
+                            else:
+                                if tcls is float or tcls is int:
+                                    err = RuntimeError(
+                                        f"process yielded a negative delay: {target!r}"
+                                    )
+                                else:
+                                    err = RuntimeError(
+                                        f"process yielded a non-event: {target!r}"
+                                    )
+                                process._generator.close()
+                                process._ok = False
+                                process._value = err
+                                self._seq = seq = self._seq + 1
+                                push(heap, (when, 1, seq, process))
+                    break
+                if not callbacks:
+                    if type(popped) is PooledTimeout:
+                        popped.callbacks = callbacks
+                        pool.append(popped)
+                    continue
+            if callbacks:
+                for callback in callbacks:
+                    callback(popped)
+            if not popped._ok and not getattr(popped, "_defused", False):
+                raise popped._value
+        if until is not None and until > self.now:
+            self.now = until

@@ -30,6 +30,11 @@ from .fuzz import (
     shrink_case,
 )
 from .oracle import DifferentialOracle, DivergenceReport
+from .reference import KERNELS
+
+#: Candidate kernels the default sweep compares against the reference:
+#: the optimized heap kernel and the bucketed timing-wheel kernel.
+DEFAULT_KERNELS = ("optimized", "wheel")
 
 
 def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +67,11 @@ def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--keep-going", action="store_true",
         help="check every case even after a failure (default: stop at first)",
+    )
+    parser.add_argument(
+        "--kernel", action="append", default=None, metavar="NAME",
+        help="candidate kernel to diff against the reference (repeatable; "
+             f"default: {' and '.join(DEFAULT_KERNELS)})",
     )
 
 
@@ -96,7 +106,19 @@ def _handle_failure(
 
 
 def run_verify_command(args: argparse.Namespace) -> int:
-    oracle = DifferentialOracle()
+    kernels = tuple(args.kernel) if getattr(args, "kernel", None) else DEFAULT_KERNELS
+    bad_kernels = [
+        name for name in kernels if name == "reference" or name not in KERNELS
+    ]
+    if bad_kernels:
+        candidates = ", ".join(name for name in KERNELS if name != "reference")
+        print(
+            f"error: invalid candidate kernel(s) {', '.join(bad_kernels)}; "
+            f"the reference is always the baseline — pick from: {candidates}",
+            file=sys.stderr,
+        )
+        return 2
+    oracle = DifferentialOracle(kernels=kernels)
     unknown_systems = [
         name for name in (args.system or ()) if name not in SYSTEM_REGISTRY
     ]
@@ -145,7 +167,7 @@ def run_verify_command(args: argparse.Namespace) -> int:
                 )
                 return 2
         banner = f"sweeping scenario {scenario.name!r}: {len(cases)} cells"
-    print(f"verify: {banner}; reference vs optimized kernel")
+    print(f"verify: {banner}; reference vs {' vs '.join(kernels)} kernel")
 
     failures = 0
     checked = 0

@@ -215,8 +215,9 @@ def check_quiescent(engine: Engine, scheduler) -> List[str]:
     process still parked on a pipeline item event (orphaned waiter).
     """
     problems: List[str] = []
-    if engine._heap:
-        problems.append(f"{len(engine._heap)} events left in the heap after drain")
+    pending = engine.pending_count()
+    if pending:
+        problems.append(f"{pending} events left in the queue after drain")
     board = scheduler.board
     for resource in [*board.ps.cores, board.pcap._port]:
         if resource.in_use != 0:

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..sim.engine import Engine
 from ..sim.events import Timeout
+from ..sim.wheel import WheelEngine
 
 
 class ReferenceEngine(Engine):
@@ -68,8 +69,13 @@ class ReferenceEngine(Engine):
 
 
 #: Named kernels the campaign/verify layers can run a scenario on.
+#: ``heap`` is an alias for ``optimized`` (the heapq-calendar kernel), so
+#: bench/verify invocations can say ``--compare wheel,heap`` and mean the
+#: backend by its data structure rather than its history.
 KERNELS: Dict[str, Callable[[], Engine]] = {
     "optimized": Engine,
+    "heap": Engine,
+    "wheel": WheelEngine,
     "reference": ReferenceEngine,
 }
 

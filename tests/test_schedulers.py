@@ -206,12 +206,14 @@ class TestILP:
             optimal_little_slots(BENCHMARKS["IC"], 0, 100.0, 8)
 
     def test_milp_respects_budget(self):
+        pytest.importorskip("scipy")
         apps = [(BENCHMARKS["IC"], 10), (BENCHMARKS["3DR"], 10), (BENCHMARKS["OF"], 10)]
         counts = allocate_slots_milp(apps, 8, DEFAULT_PARAMETERS.little_pr_ms)
         assert sum(counts) <= 8
         assert all(c >= 1 for c in counts)
 
     def test_milp_more_slots_helps_when_available(self):
+        pytest.importorskip("scipy")
         apps = [(BENCHMARKS["IC"], 20)]
         counts = allocate_slots_milp(apps, 8, DEFAULT_PARAMETERS.little_pr_ms)
         assert counts[0] >= 3
