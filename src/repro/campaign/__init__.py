@@ -22,6 +22,7 @@ from .backend import (
     SerialBackend,
     SimulationOutcome,
     execute_cell,
+    failure_record,
     make_backend,
     simulate_run,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "SimulationOutcome",
     "SystemSpec",
     "execute_cell",
+    "failure_record",
     "fingerprint_parameters",
     "get_scenario",
     "get_system",

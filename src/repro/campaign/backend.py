@@ -5,8 +5,8 @@ turned into a finished simulation — ``experiments.runner.run_sequence``
 and both campaign backends are thin wrappers over it.  Each campaign
 *cell* carries everything a worker needs (workload spec, seed, resolved
 parameters), so the parallel backend ships only small picklable specs to
-``multiprocessing`` workers and each worker rebuilds its own engine, RNG
-streams and application-instance-id counter — no cross-run global state.
+worker processes and each worker rebuilds its own engine, RNG streams
+and application-instance-id counter — no cross-run global state.
 
 The serial backend is the reference for determinism tests: for the same
 cells, :class:`ProcessBackend` must return bit-identical records.
@@ -14,9 +14,10 @@ cells, :class:`ProcessBackend` must return bit-identical records.
 
 from __future__ import annotations
 
-import multiprocessing
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..apps.application import reset_instance_ids
 from ..config import DEFAULT_PARAMETERS, SystemParameters
@@ -311,33 +312,160 @@ class SerialBackend:
         return [execute_cell(cell) for cell in cells]
 
 
+def failure_record(cell: CampaignCell, error: str) -> RunRecord:
+    """A sample-free :class:`RunRecord` marking a cell whose worker failed.
+
+    Surfacing the failure as a record (``record.failed`` is True) instead
+    of raising keeps one crashed or hung cell from discarding the whole
+    campaign: every healthy record still persists, and the failed cell is
+    identifiable and individually re-runnable from the store.
+    """
+    # Never resolve_arrivals() here: regenerating the sequence re-runs the
+    # very code that may have crashed or hung the worker, this time in the
+    # orchestrating process.  The cheap spec metadata is enough.
+    if cell.arrivals is not None:
+        n_apps = len(cell.arrivals)
+    elif cell.workload is not None:
+        n_apps = cell.workload.n_apps
+    else:
+        n_apps = 0
+    if cell.workload is not None:
+        condition = cell.workload.condition.label
+    else:
+        condition = cell.condition_label or "explicit"
+    return RunRecord(
+        scenario=cell.scenario,
+        system=cell.system,
+        condition=condition,
+        sequence_index=cell.sequence_index,
+        seed=cell.seed,
+        n_apps=n_apps,
+        makespan_ms=0.0,
+        fingerprint=fingerprint_parameters(cell.params),
+        shard=cell.shard,
+        error=error,
+    )
+
+
 @dataclass
 class ProcessBackend:
-    """Fan cells out over a ``multiprocessing`` pool.
+    """Fan cells out over a process pool, surviving crashed workers.
 
-    Results come back in cell order (``pool.map`` preserves ordering), so
-    aggregate statistics are independent of worker completion order and
-    bit-identical to the serial backend.
+    Results come back in cell order, so aggregate statistics are
+    independent of worker completion order and bit-identical to the
+    serial backend.  Unlike a bare ``multiprocessing.Pool.map`` — which
+    hangs forever when a worker dies mid-task — this backend:
+
+    * detects a crashed worker immediately (the pool breaks with
+      :class:`BrokenProcessPool` rather than waiting on a lost task);
+    * bounds each cell's wall-clock with ``timeout_s`` (hung workers are
+      terminated, not waited on);
+    * re-executes every unfinished cell deterministically in a fresh
+      single-worker pool, up to ``max_retries`` isolation rounds —
+      a transiently killed worker (OOM reaper, operator signal) costs a
+      retry, not the campaign;
+    * surfaces cells that still fail as :func:`failure_record` entries
+      instead of raising, so the healthy records survive.
+
+    Exceptions raised *by the simulation itself* (``DrainError``, bad
+    specs) are real results, not infrastructure faults — they propagate
+    exactly as the serial backend would raise them.
     """
 
     jobs: int = 2
-    #: One cell per task keeps long and short cells load-balanced.
+    #: Retained for construction compatibility; the executor always ships
+    #: one cell per task so long and short cells stay load-balanced.
     chunksize: int = 1
+    #: Per-cell wall-clock bound in seconds (None = unbounded).  Measured
+    #: from when collection reaches the cell, so an earlier slow cell can
+    #: only lengthen — never shorten — a later cell's budget.
+    timeout_s: Optional[float] = None
+    #: Isolation rounds re-running crashed/timed-out cells before they
+    #: are surfaced as failure records.
+    max_retries: int = 1
     name: str = field(init=False, default="process")
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
     def run(self, cells: Sequence[CampaignCell]) -> List[RunRecord]:
         cells = list(cells)
         if self.jobs == 1 or len(cells) <= 1:
             return SerialBackend().run(cells)
-        workers = min(self.jobs, len(cells))
-        with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(execute_cell, cells, chunksize=self.chunksize)
+        records, failures = self._round(cells, range(len(cells)), self.jobs)
+        for _ in range(self.max_retries):
+            if not failures:
+                break
+            # Isolation mode: each failed cell retries in its own fresh
+            # single-worker pool, so a poison cell can only break its own
+            # pool and healthy siblings caught in the breakage complete.
+            still_failing: Dict[int, str] = {}
+            for index in sorted(failures):
+                retried, failed = self._round(cells, [index], 1)
+                records.update(retried)
+                still_failing.update(failed)
+            failures = still_failing
+        for index, error in failures.items():
+            records[index] = failure_record(
+                cells[index], f"{error} (after {self.max_retries} retries)"
+            )
+        return [records[index] for index in range(len(cells))]
+
+    def _round(
+        self,
+        cells: Sequence[CampaignCell],
+        indices: Iterable[int],
+        workers: int,
+    ) -> Tuple[Dict[int, RunRecord], Dict[int, str]]:
+        """One pool generation: records collected and failures to retry."""
+        indices = list(indices)
+        records: Dict[int, RunRecord] = {}
+        failures: Dict[int, str] = {}
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(indices))
+        )
+        try:
+            futures = {
+                index: executor.submit(execute_cell, cells[index])
+                for index in indices
+            }
+            for index, future in futures.items():
+                try:
+                    records[index] = future.result(timeout=self.timeout_s)
+                except concurrent.futures.TimeoutError:
+                    failures[index] = (
+                        f"cell timed out after {self.timeout_s:g}s"
+                    )
+                    # result(timeout=...) leaves the worker running; kill
+                    # the pool's processes so the hung task cannot block
+                    # shutdown (pending siblings fail over to retry).
+                    self._terminate_workers(executor)
+                except BrokenProcessPool:
+                    # The dying worker is not attributable to one future:
+                    # every unfinished cell fails over to the retry round.
+                    failures[index] = "worker process crashed"
+                except concurrent.futures.CancelledError:
+                    failures[index] = "cancelled after pool breakage"
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return records, failures
+
+    @staticmethod
+    def _terminate_workers(executor) -> None:
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
 
 
-def make_backend(jobs: int = 1):
-    """The backend matching a ``--jobs N`` request."""
-    return SerialBackend() if jobs <= 1 else ProcessBackend(jobs=jobs)
+def make_backend(
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+):
+    """The backend matching a ``--jobs N [--cell-timeout S]`` request."""
+    if jobs <= 1:
+        return SerialBackend()
+    return ProcessBackend(jobs=jobs, timeout_s=timeout_s, max_retries=max_retries)

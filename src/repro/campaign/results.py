@@ -72,7 +72,16 @@ class RunRecord:
     #: compact default representation of the run's response distribution.
     #: Raw ``response_times_ms`` are only persisted with ``--raw-samples``.
     response_digest: Dict[str, object] = field(default_factory=dict)
+    #: Empty for successful runs.  A non-empty string marks a cell whose
+    #: worker crashed or timed out past the backend's retry budget; such
+    #: records carry no samples and are excluded from aggregation.
+    error: str = ""
     schema: int = SCHEMA_VERSION
+
+    @property
+    def failed(self) -> bool:
+        """True when the cell's execution failed instead of simulating."""
+        return bool(self.error)
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -130,6 +139,12 @@ class RunRecord:
         raise ValueError(f"record {self.scenario}/{self.system} has no samples")
 
 
+#: Files whose truncated trailing line has already been warned about this
+#: process — re-loading the same damaged file (replay, aggregation, tests)
+#: warns once, not on every read.
+_TRUNCATION_WARNED: set = set()
+
+
 class ResultsStore:
     """Crash-safe, append-oriented JSONL store for :class:`RunRecord` files.
 
@@ -138,13 +153,17 @@ class ResultsStore:
     * :meth:`extend` flushes and fsyncs the whole batch before returning,
       so a killed worker can lose at most its *own* unflushed batch — and
       only as a truncated final line, never a corrupted interior one.
-    * :meth:`load` detects a truncated trailing line, skips it with a
-      warning, and keeps every intact record before it; malformed
-      *interior* lines still raise (those are corruption, not a crash).
+    * :meth:`load` detects a truncated trailing line, skips it (warning
+      once per file per process), and keeps every intact record before
+      it; malformed *interior* lines still raise (those are corruption,
+      not a crash).  ``skipped_lines`` holds the most recent load's skip
+      count so callers can surface it in their summaries.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        #: Lines the most recent :meth:`load` skipped as truncated.
+        self.skipped_lines = 0
 
     def write(self, records: Iterable[RunRecord]) -> Path:
         """Atomically replace the file's contents with ``records``."""
@@ -217,10 +236,23 @@ class ResultsStore:
         """
         from ..telemetry.replay import iter_jsonl_payloads
 
+        self.skipped_lines = 0
+
+        def on_skip(line_no: int) -> None:
+            self.skipped_lines += 1
+            key = str(self.path.resolve())
+            if key not in _TRUNCATION_WARNED:
+                _TRUNCATION_WARNED.add(key)
+                warnings.warn(
+                    f"{self.path}:{line_no}: truncated trailing record "
+                    "skipped (interrupted writer?)",
+                    stacklevel=3,
+                )
+
         records: List[RunRecord] = []
         with self.path.open("r", encoding="utf-8") as handle:
             for line_no, payload in iter_jsonl_payloads(
-                handle, self.path, what="record"
+                handle, self.path, what="record", on_skip=on_skip
             ):
                 try:
                     records.append(RunRecord.from_dict(payload))

@@ -28,8 +28,13 @@ class CampaignRunner:
         base_params: Optional[SystemParameters] = None,
         raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
-        self.backend = backend if backend is not None else make_backend(jobs)
+        self.backend = (
+            backend
+            if backend is not None
+            else make_backend(jobs, timeout_s=timeout_s)
+        )
         if store is not None and not isinstance(store, ResultsStore):
             store = ResultsStore(store)
         self.store = store

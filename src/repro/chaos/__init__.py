@@ -1,0 +1,17 @@
+"""Deterministic fault injection for the fleet serving layer.
+
+Everything here is pure data + pure functions: fault *schedules* describe
+what breaks and when, and the supervised control plane in
+:mod:`repro.fleet.control` turns them into rerouted/shed serving plans.
+Nothing in this package touches wall clocks, ``hash()`` or global state —
+a schedule replays bit-identically in any process.
+"""
+
+from .faults import FAULT_KINDS, FaultSchedule, FaultSpec, sample_fault_schedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "FaultSpec",
+    "sample_fault_schedule",
+]

@@ -34,7 +34,6 @@ from .campaign import (
     CampaignRunner,
     ResultsStore,
     get_scenario,
-    load_records,
     scenario_names,
 )
 from .experiments import (
@@ -46,7 +45,7 @@ from .experiments import (
     run_fig7,
     run_fig8,
 )
-from .fleet import Fleet, fleet_scenario_names, get_fleet_scenario
+from .fleet import Fleet, fleet_scenario_names, get_fleet_scenario, policy_names
 from .experiments.runner import SYSTEMS
 from .metrics.plots import bar_chart, trace_plot
 from .metrics.report import format_table, summarize_records
@@ -70,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=1,
             help="worker processes for the campaign backend (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="S",
+            help="with --jobs N: wall-clock bound per campaign cell in "
+                 "seconds; a hung worker is killed, the cell retried once "
+                 "in isolation, and a persistent failure is surfaced as a "
+                 "failure record instead of hanging the campaign",
         )
         p.add_argument(
             "--out", type=str, default=None, metavar="PATH",
@@ -252,6 +258,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         store=store,
         raw_samples=args.raw_samples,
         events_dir=args.events_dir,
+        timeout_s=getattr(args, "cell_timeout", None),
     )
     records = runner.run(scenario)
     print(summarize_records(records))
@@ -272,6 +279,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     "system": scenario.system,
                     "n_shards": scenario.n_shards,
                     "policy": scenario.policy,
+                    "policies": policy_names(),
+                    "cell_count": scenario.cell_count(),
+                    "faults": len(scenario.faults),
                     "seeds": list(scenario.seeds),
                     "workload": scenario.workload.kind,
                     "condition": scenario.workload.condition.label,
@@ -306,6 +316,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         store=store,
         keep_raw_samples=args.raw_samples,
         events_dir=args.events_dir,
+        timeout_s=getattr(args, "cell_timeout", None),
     )
     print(result.rollup.table())
     print(f"\n{len(result.records)} shard records appended to {store.path}")
@@ -387,9 +398,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 telemetry_command="summarize", path=args.path, json=False
             )
             return _cmd_telemetry(telemetry_args)
-        records = load_records(args.path)
+        store = ResultsStore(args.path)
+        records = store.load()
         if not records:
             print(f"no records in {args.path}")
+            if store.skipped_lines:
+                print(
+                    f"note: {store.skipped_lines} truncated trailing "
+                    f"line(s) skipped while loading {args.path}"
+                )
             return 1
         if args.figure == "fig5":
             print(Fig5Result.from_records(records).table())
@@ -397,6 +414,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(fig6_from_records(records).table())
         else:
             print(summarize_records(records))
+        if store.skipped_lines:
+            print(
+                f"note: {store.skipped_lines} truncated trailing line(s) "
+                f"skipped while loading {args.path}"
+            )
     except (KeyError, ValueError, FileNotFoundError) as exc:
         return _operator_error(exc)
     return 0

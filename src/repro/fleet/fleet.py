@@ -27,8 +27,10 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from ..campaign.backend import DEFAULT_HORIZON_MS, CampaignCell, make_backend
 from ..campaign.results import ResultsStore, RunRecord, merged_response_summary
 from ..campaign.scenario import SYSTEM_REGISTRY, get_system
+from ..chaos import FaultSchedule, FaultSpec
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..metrics.report import format_table
+from .control import ServingPlan, supervised_partition
 from .routing import ROUTING_POLICIES, load_imbalance, partition_arrivals
 from .workload import FleetWorkload
 
@@ -49,6 +51,10 @@ class FleetScenario:
     #: :class:`~repro.campaign.scenario.Scenario`).
     overrides: Tuple[Tuple[str, float], ...] = ()
     description: str = ""
+    #: Declared fault schedule, flat-tuple form (``FaultSpec.to_tuple``):
+    #: hashable, picklable, reviewable in the scenario definition.  Also
+    #: accepts a :class:`FaultSchedule` or ``FaultSpec`` iterables.
+    faults: Tuple[Tuple[str, float, int, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(self.seeds))
@@ -58,6 +64,16 @@ class FleetScenario:
             else sorted(tuple(pair) for pair in self.overrides)
         )
         object.__setattr__(self, "overrides", tuple(pairs))
+        schedule = (
+            self.faults
+            if isinstance(self.faults, FaultSchedule)
+            else FaultSchedule(
+                fault if isinstance(fault, FaultSpec)
+                else FaultSpec.from_tuple(fault)
+                for fault in self.faults
+            )
+        )
+        object.__setattr__(self, "faults", schedule.to_tuples())
         if self.n_shards < 1:
             raise ValueError(f"fleet {self.name!r} needs >= 1 shard")
         if not self.seeds:
@@ -72,6 +88,11 @@ class FleetScenario:
                 f"fleet {self.name!r}: unknown routing policy "
                 f"{self.policy!r}; available: {', '.join(ROUTING_POLICIES)}"
             )
+        self.fault_schedule().validate_for(self.n_shards)
+
+    def fault_schedule(self) -> FaultSchedule:
+        """The declared faults as a typed, validated schedule."""
+        return FaultSchedule.from_tuples(self.faults)
 
     def system_names(self) -> Tuple[str, ...]:
         """The (single) system every shard runs — campaign-Scenario shape."""
@@ -89,17 +110,27 @@ class FleetScenario:
         n_apps: Optional[int] = None,
         seeds: Optional[Tuple[int, ...]] = None,
     ) -> "FleetScenario":
-        """A copy with the shard count / stream size / seeds adjusted."""
+        """A copy with the shard count / stream size / seeds adjusted.
+
+        Shrinking the shard count drops faults (and their recoveries)
+        naming shards outside the new range rather than rejecting the
+        scaled scenario.
+        """
         import dataclasses
 
         workload = self.workload
         if n_apps is not None:
             workload = dataclasses.replace(workload, n_apps=n_apps)
+        target_shards = n_shards if n_shards is not None else self.n_shards
+        faults = tuple(
+            fault for fault in self.faults if fault[2] < target_shards
+        )
         return dataclasses.replace(
             self,
-            n_shards=n_shards if n_shards is not None else self.n_shards,
+            n_shards=target_shards,
             workload=workload,
             seeds=tuple(seeds) if seeds is not None else self.seeds,
+            faults=faults,
         )
 
     def cell_count(self) -> int:
@@ -167,6 +198,10 @@ class FleetRollup:
     overall: Optional[ShardRollup] = None
     #: Max/mean estimated shard load of the dispatch plan (mean over seeds).
     imbalance: float = 1.0
+    #: Requests refused by the degraded-mode front-end (sum over seeds).
+    shed: int = 0
+    #: Reroute hops taken off dead shards (sum over seeds).
+    rerouted: int = 0
 
     def table(self) -> str:
         rows = [
@@ -184,7 +219,13 @@ class FleetRollup:
             title=(
                 f"Fleet {self.scenario} — {self.system}, "
                 f"{self.n_shards} shards, policy {self.policy} "
-                f"(load imbalance {self.imbalance:.2f})"
+                f"(load imbalance {self.imbalance:.2f}"
+                + (
+                    f", shed {self.shed}, rerouted {self.rerouted}"
+                    if self.shed or self.rerouted
+                    else ""
+                )
+                + ")"
             ),
         )
 
@@ -219,7 +260,10 @@ def _rollup_group(shard: int, records: List[RunRecord]) -> ShardRollup:
 
 
 def rollup_records(
-    scenario: FleetScenario, records: List[RunRecord], imbalance: float = 1.0
+    scenario: FleetScenario,
+    records: List[RunRecord],
+    imbalance: float = 1.0,
+    serving_plans: Optional[Mapping[int, ServingPlan]] = None,
 ) -> FleetRollup:
     """Per-shard + global rollups of one fleet run's records."""
     by_shard: Dict[int, List[RunRecord]] = {}
@@ -231,6 +275,10 @@ def rollup_records(
         policy=scenario.policy,
         n_shards=scenario.n_shards,
         imbalance=imbalance,
+        shed=sum(p.shed_count for p in (serving_plans or {}).values()),
+        rerouted=sum(
+            p.reroute_count for p in (serving_plans or {}).values()
+        ),
     )
     for shard in sorted(by_shard):
         rollup.per_shard.append(_rollup_group(shard, by_shard[shard]))
@@ -250,6 +298,8 @@ class FleetResult:
     scenario: FleetScenario
     records: List[RunRecord]
     rollup: FleetRollup
+    #: Per-seed supervised serving plans (empty for fault-free runs).
+    serving_plans: Dict[int, ServingPlan] = field(default_factory=dict)
 
 
 class Fleet:
@@ -270,24 +320,63 @@ class Fleet:
         self.params = scenario.parameters(base_params)
 
     # ------------------------------------------------------------------
-    def shard_plan(self, seed: int, telemetry=None) -> List[List[Arrival]]:
-        """The dispatch plan: the global stream routed into shards."""
+    def serving_plan(
+        self, seed: int, telemetry=None, check: bool = True
+    ) -> Optional[ServingPlan]:
+        """The supervised serving plan of one seed (``None`` fault-free).
+
+        With ``check`` the plan is audited against the no-lost-requests
+        invariants before anything simulates from it — a control-plane
+        bug fails loudly at planning time, never as silent request loss.
+        """
         scenario = self.scenario
+        if not scenario.faults:
+            return None
+        arrivals = scenario.workload.arrivals(seed)
+        plan = supervised_partition(
+            arrivals, scenario.n_shards, scenario.policy, seed,
+            scenario.fault_schedule(), telemetry=telemetry,
+        )
+        if check:
+            from ..verify.invariants import check_serving_plan
+
+            violations = check_serving_plan(plan, arrivals)
+            if violations:
+                raise ValueError(
+                    f"fleet {scenario.name!r} seed {seed}: serving plan "
+                    f"violates no-lost-requests invariants: "
+                    + "; ".join(str(v) for v in violations[:5])
+                )
+        return plan
+
+    def shard_plan(self, seed: int, telemetry=None) -> List[List[Arrival]]:
+        """The dispatch plan: the global stream routed into shards.
+
+        Fault-free scenarios use the frozen admission front-end; with a
+        declared fault schedule the supervised control plane plans the
+        run (rerouting and shedding included) and the streams here are
+        its final per-shard arrival streams.
+        """
+        scenario = self.scenario
+        if scenario.faults:
+            return self.serving_plan(seed, telemetry=telemetry).streams
         arrivals = scenario.workload.arrivals(seed)
         return partition_arrivals(
             arrivals, scenario.n_shards, scenario.policy, seed,
             telemetry=telemetry,
         )
 
-    def plans(
+    def plan_bundle(
         self, events_dir: Optional[Union[str, Path]] = None
-    ) -> Dict[int, List[List[Arrival]]]:
-        """The dispatch plan of every seed, computed once.
+    ) -> Tuple[Dict[int, List[List[Arrival]]], Dict[int, "ServingPlan"]]:
+        """Per-seed dispatch streams plus serving plans, computed once.
 
         With ``events_dir`` the front-end writes one admission event log
-        per seed (the routed stream's source of truth).
+        per seed (the routed stream's source of truth — including any
+        shard-down/reroute/shed control events under faults).
         """
         plans: Dict[int, List[List[Arrival]]] = {}
+        serving_plans: Dict[int, ServingPlan] = {}
         for seed in self.scenario.seeds:
             telemetry = None
             if events_dir is not None:
@@ -307,10 +396,22 @@ class Fleet:
                     )
                 )
             try:
-                plans[seed] = self.shard_plan(seed, telemetry=telemetry)
+                if self.scenario.faults:
+                    plan = self.serving_plan(seed, telemetry=telemetry)
+                    serving_plans[seed] = plan
+                    plans[seed] = plan.streams
+                else:
+                    plans[seed] = self.shard_plan(seed, telemetry=telemetry)
             finally:
                 if telemetry is not None:
                     telemetry.close()
+        return plans, serving_plans
+
+    def plans(
+        self, events_dir: Optional[Union[str, Path]] = None
+    ) -> Dict[int, List[List[Arrival]]]:
+        """The dispatch plan of every seed, computed once."""
+        plans, _ = self.plan_bundle(events_dir=events_dir)
         return plans
 
     def cells(
@@ -359,17 +460,20 @@ class Fleet:
         kernel: str = "optimized",
         keep_raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
+        timeout_s: Optional[float] = None,
     ) -> FleetResult:
         """Execute every shard cell and roll the records up.
 
         ``jobs=1`` runs shards serially in-process (the determinism
         reference); ``jobs=N`` fans shards out over N worker processes
-        with bit-identical records.  ``events_dir`` persists the full
-        telemetry stream: one admission log per seed from the front-end
-        plus one event log per (seed × shard) cell.
+        with bit-identical records — ``timeout_s`` bounds each cell's
+        wall-clock there (hung workers killed, cell retried, persistent
+        failure surfaced as a failure record).  ``events_dir`` persists
+        the full telemetry stream: one admission log per seed from the
+        front-end plus one event log per (seed × shard) cell.
         """
-        backend = make_backend(jobs)
-        plans = self.plans(events_dir=events_dir)
+        backend = make_backend(jobs, timeout_s=timeout_s)
+        plans, serving_plans = self.plan_bundle(events_dir=events_dir)
         records = backend.run(
             self.cells(
                 kernel=kernel,
@@ -384,6 +488,10 @@ class Fleet:
             store.extend(records)
         imbalances = [load_imbalance(plan) for plan in plans.values()]
         rollup = rollup_records(
-            self.scenario, records, sum(imbalances) / len(imbalances)
+            self.scenario, records, sum(imbalances) / len(imbalances),
+            serving_plans=serving_plans,
         )
-        return FleetResult(scenario=self.scenario, records=records, rollup=rollup)
+        return FleetResult(
+            scenario=self.scenario, records=records, rollup=rollup,
+            serving_plans=serving_plans,
+        )

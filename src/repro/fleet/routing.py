@@ -68,6 +68,32 @@ class RoutingPolicy:
     def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
         raise NotImplementedError
 
+    def route_live(
+        self,
+        arrival: Arrival,
+        loads: Sequence[float],
+        live: Sequence[int],
+    ) -> int:
+        """Route among the ``live`` shard subset (failure-aware admission).
+
+        ``live`` is the sorted tuple of currently-serving shard indices.
+        With every shard live this must make the *same decision (and the
+        same RNG draws)* as :meth:`route`, so a fault-free supervised plan
+        is bit-identical to the frozen-admission plan.  The base fallback
+        keeps the :meth:`route` choice when it is live and otherwise walks
+        cyclically upward to the next live shard.
+        """
+        if not live:
+            raise ValueError("route_live needs at least one live shard")
+        shard = self.route(arrival, loads)
+        if shard in live:
+            return shard
+        for offset in range(1, self.n_shards + 1):
+            candidate = (shard + offset) % self.n_shards
+            if candidate in live:
+                return candidate
+        raise ValueError("route_live: no live shard found")  # pragma: no cover
+
 
 #: Registered policies by name (insertion-ordered dict).
 ROUTING_POLICIES: Dict[str, Callable[..., RoutingPolicy]] = {}
@@ -123,6 +149,27 @@ class ConsistentHashPolicy(RoutingPolicy):
         index = bisect_right(self._ring, point) % len(self._ring)
         return self._owner[index]
 
+    def route_live(
+        self,
+        arrival: Arrival,
+        loads: Sequence[float],
+        live: Sequence[int],
+    ) -> int:
+        # Ring-walk past dead owners: the first live vnode clockwise of
+        # the key.  Keys whose owner stays live keep their shard, so a
+        # leave/rejoin remaps only the dead shard's key range (classic
+        # consistent-hashing stability, now under failures).
+        if not live:
+            raise ValueError("route_live needs at least one live shard")
+        live_set = frozenset(live)
+        point = stable_digest(f"app/{arrival.app_name}")
+        index = bisect_right(self._ring, point) % len(self._ring)
+        for step in range(len(self._ring)):
+            owner = self._owner[(index + step) % len(self._ring)]
+            if owner in live_set:
+                return owner
+        raise ValueError("route_live: no live shard found")  # pragma: no cover
+
 
 @register_policy
 class LeastLoadedPolicy(RoutingPolicy):
@@ -134,6 +181,22 @@ class LeastLoadedPolicy(RoutingPolicy):
         best = 0
         best_load = loads[0]
         for shard in range(1, self.n_shards):
+            if loads[shard] < best_load:
+                best = shard
+                best_load = loads[shard]
+        return best
+
+    def route_live(
+        self,
+        arrival: Arrival,
+        loads: Sequence[float],
+        live: Sequence[int],
+    ) -> int:
+        if not live:
+            raise ValueError("route_live needs at least one live shard")
+        best = live[0]
+        best_load = loads[best]
+        for shard in live[1:]:
             if loads[shard] < best_load:
                 best = shard
                 best_load = loads[shard]
@@ -158,6 +221,22 @@ class PowerOfTwoPolicy(RoutingPolicy):
     def route(self, arrival: Arrival, loads: Sequence[float]) -> int:
         first = self._rng.randrange(self.n_shards)
         second = self._rng.randrange(self.n_shards)
+        return first if loads[first] <= loads[second] else second
+
+    def route_live(
+        self,
+        arrival: Arrival,
+        loads: Sequence[float],
+        live: Sequence[int],
+    ) -> int:
+        # Candidates are drawn from the *live* index space, so the draw
+        # count per decision is fixed (two) and, with every shard live,
+        # the sequence is identical to :meth:`route` — the sorted live
+        # tuple is then (0..n-1) and ``live[i] == i``.
+        if not live:
+            raise ValueError("route_live needs at least one live shard")
+        first = live[self._rng.randrange(len(live))]
+        second = live[self._rng.randrange(len(live))]
         return first if loads[first] <= loads[second] else second
 
 

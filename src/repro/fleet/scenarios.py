@@ -51,6 +51,28 @@ register_fleet_scenario(FleetScenario(
 ))
 
 register_fleet_scenario(FleetScenario(
+    name="fleet-chaos",
+    system="VersaSlot-OL",
+    n_shards=4,
+    policy="least-loaded",
+    workload=FleetWorkload(kind="uniform", condition=Condition.STANDARD, n_apps=24),
+    description=(
+        "Rolling three-shard outage: staggered kills push live capacity "
+        "to 1/4 (degraded-mode shedding engages below 1/2), then "
+        "supervised restarts bring the shards back and shedding "
+        "disengages."
+    ),
+    faults=(
+        ("kill", 8000.0, 0, 1.0, 0.0),
+        ("kill", 10000.0, 1, 1.0, 0.0),
+        ("kill", 12000.0, 2, 1.0, 0.0),
+        ("recover", 18000.0, 0, 1.0, 0.0),
+        ("recover", 20000.0, 1, 1.0, 0.0),
+        ("recover", 22000.0, 2, 1.0, 0.0),
+    ),
+))
+
+register_fleet_scenario(FleetScenario(
     name="fleet-multi-tenant",
     system="VersaSlot-BL",
     n_shards=4,

@@ -70,17 +70,25 @@ def summarize_records(records: Iterable["RunRecord"]) -> str:
 
     Reports run counts, mean/P95/P99 response, mean makespan and PR
     counters — everything needed to sanity-check a campaign file without
-    replaying the simulations.
+    replaying the simulations.  Failure records (cells whose worker
+    crashed or timed out — ``record.failed``) carry no samples; they are
+    kept out of the aggregates and tallied in the table title instead.
     """
     from ..campaign.results import merged_response_summary
 
     groups: Dict[tuple, List["RunRecord"]] = {}
     scenarios: List[str] = []
+    failed = 0
     for record in records:
+        if getattr(record, "failed", False):
+            failed += 1
+            continue
         groups.setdefault((record.condition, record.system), []).append(record)
         if record.scenario not in scenarios:
             scenarios.append(record.scenario)
     if not groups:
+        if failed:
+            return f"no usable records ({failed} failed cell(s))"
         return "no records"
     rows = []
     for (condition, system), runs in sorted(groups.items()):
@@ -103,7 +111,10 @@ def summarize_records(records: Iterable["RunRecord"]) -> str:
         ["condition", "system", "runs", "mean (ms)", "p95 (ms)", "p99 (ms)",
          "makespan (ms)", "PRs", "blocked"],
         rows,
-        title=f"Campaign records — {', '.join(scenarios)}",
+        title=(
+            f"Campaign records — {', '.join(scenarios)}"
+            + (f" ({failed} failed cell(s) excluded)" if failed else "")
+        ),
     )
 
 

@@ -40,7 +40,11 @@ from .events import (
     LaunchEvent,
     MigrationEvent,
     PreemptionEvent,
+    RequestReroutedEvent,
+    RequestShedEvent,
     ShardAdmissionEvent,
+    ShardDownEvent,
+    ShardRecoveredEvent,
     SlotTransitionEvent,
     TelemetryEvent,
     canonical_line,
@@ -73,8 +77,12 @@ __all__ = [
     "N_BUCKETS",
     "PreemptionEvent",
     "QUANTILE_REL_ERROR",
+    "RequestReroutedEvent",
+    "RequestShedEvent",
     "ResponseDigest",
     "ShardAdmissionEvent",
+    "ShardDownEvent",
+    "ShardRecoveredEvent",
     "SlotTransitionEvent",
     "StreamingAggregationSink",
     "TelemetryBus",

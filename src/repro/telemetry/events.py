@@ -1,6 +1,6 @@
 """The typed telemetry event hierarchy.
 
-Every measurable thing that happens in a simulation is one of these seven
+Every measurable thing that happens in a simulation is one of these
 event kinds, emitted from the scheduler/fleet hot paths onto a
 :class:`~repro.telemetry.bus.TelemetryBus`:
 
@@ -14,6 +14,10 @@ slot       a reconfigurable slot changes state (PR begin/done, release)
 preemption a task run vacates its slot at an item boundary
 migration  a waiting app is extracted for cross-board migration
 completion an application finishes (carries the exact response time)
+shard-down a fleet shard left service (kill or completed drain)
+shard-up   a downed shard finished warmup and serves again
+reroute    an admitted request moved off a dead shard onto a live one
+shed       the degraded-mode front-end explicitly refused a request
 ========== =========================================================
 
 Events are deliberately *plain* ``__slots__`` classes with positional
@@ -160,6 +164,66 @@ class MigrationEvent(TelemetryEvent):
         self.app_id = app_id
 
 
+class ShardDownEvent(TelemetryEvent):
+    """A fleet shard left service (crash kill or completed drain)."""
+
+    __slots__ = ("shard", "reason")
+    kind = "shard-down"
+    _fields = ("shard", "reason")
+
+    def __init__(self, time_ms: float, shard: int, reason: str) -> None:
+        self.time_ms = time_ms
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardRecoveredEvent(TelemetryEvent):
+    """A downed shard finished warmup and is serving again."""
+
+    __slots__ = ("shard", "downtime_ms")
+    kind = "shard-up"
+    _fields = ("shard", "downtime_ms")
+
+    def __init__(self, time_ms: float, shard: int, downtime_ms: float) -> None:
+        self.time_ms = time_ms
+        self.shard = shard
+        self.downtime_ms = downtime_ms
+
+
+class RequestReroutedEvent(TelemetryEvent):
+    """An admitted request moved off a dead shard onto a live one."""
+
+    __slots__ = ("app", "batch", "from_shard", "to_shard")
+    kind = "reroute"
+    _fields = ("app", "batch", "from_shard", "to_shard")
+
+    def __init__(
+        self, time_ms: float, app: str, batch: int, from_shard: int,
+        to_shard: int,
+    ) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.batch = batch
+        self.from_shard = from_shard
+        self.to_shard = to_shard
+
+
+class RequestShedEvent(TelemetryEvent):
+    """The degraded-mode front-end explicitly refused a request."""
+
+    __slots__ = ("app", "batch", "reason")
+    kind = "shed"
+    _fields = ("app", "batch", "reason")
+
+    def __init__(
+        self, time_ms: float, app: str, batch: int, reason: str
+    ) -> None:
+        self.time_ms = time_ms
+        self.app = app
+        self.batch = batch
+        self.reason = reason
+
+
 class CompletionEvent(TelemetryEvent):
     """An application finished; carries the exact response time."""
 
@@ -189,6 +253,10 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         PreemptionEvent,
         MigrationEvent,
         CompletionEvent,
+        ShardDownEvent,
+        ShardRecoveredEvent,
+        RequestReroutedEvent,
+        RequestShedEvent,
     )
 }
 
@@ -237,7 +305,11 @@ __all__ = [
     "LaunchEvent",
     "MigrationEvent",
     "PreemptionEvent",
+    "RequestReroutedEvent",
+    "RequestShedEvent",
     "ShardAdmissionEvent",
+    "ShardDownEvent",
+    "ShardRecoveredEvent",
     "SlotTransitionEvent",
     "TelemetryEvent",
     "canonical_line",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import warnings
 from pathlib import Path
-from typing import Dict, Iterator, List, TextIO, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from .events import EVENT_SCHEMA, TelemetryEvent, event_from_dict
 from .sinks import StreamingAggregationSink
@@ -26,6 +26,7 @@ def iter_jsonl_payloads(
     path: Union[str, Path],
     first_line_no: int = 1,
     what: str = "record",
+    on_skip: Optional[Callable[[int], None]] = None,
 ) -> Iterator[Tuple[int, dict]]:
     """Stream ``(line_no, parsed_json)`` pairs from a JSONL handle.
 
@@ -35,6 +36,10 @@ def iter_jsonl_payloads(
     line — the only line an interrupted writer can truncate — is skipped
     with a warning.  Lines are parsed with one line of lookahead so
     "final" is known without reading the file twice.
+
+    ``on_skip`` takes over skip reporting: when given, it is called with
+    the skipped line number and no warning is emitted here — the caller
+    owns deduplication and accounting (see ``ResultsStore.load``).
     """
     pending: Tuple[int, str] = (0, "")
     for line_no, line in enumerate(handle, start=first_line_no):
@@ -56,11 +61,14 @@ def iter_jsonl_payloads(
         try:
             payload = json.loads(last_line)
         except json.JSONDecodeError:
-            warnings.warn(
-                f"{path}:{last_no}: truncated trailing {what} skipped "
-                "(interrupted writer?)",
-                stacklevel=2,
-            )
+            if on_skip is not None:
+                on_skip(last_no)
+            else:
+                warnings.warn(
+                    f"{path}:{last_no}: truncated trailing {what} skipped "
+                    "(interrupted writer?)",
+                    stacklevel=2,
+                )
             return
         yield last_no, payload
 

@@ -74,7 +74,7 @@ class StreamingAggregationSink(TelemetrySink):
         "kinds", "digest", "admissions", "arrivals", "launches",
         "launch_blocked", "launch_wait_ms", "slot_transitions", "pr_loads",
         "preemptions", "migrations", "completions", "makespan_ms",
-        "events_seen",
+        "events_seen", "sheds", "reroutes", "shard_downs", "shard_ups",
     )
 
     def __init__(self, kinds=None) -> None:
@@ -92,6 +92,10 @@ class StreamingAggregationSink(TelemetrySink):
         self.completions = 0
         self.makespan_ms = 0.0
         self.events_seen = 0
+        self.sheds = 0
+        self.reroutes = 0
+        self.shard_downs = 0
+        self.shard_ups = 0
 
     def on_launch(
         self, time_ms: float, app_id: int, wait_ms: float, blocked: bool
@@ -128,6 +132,14 @@ class StreamingAggregationSink(TelemetrySink):
             self.preemptions += 1
         elif kind == "migration":
             self.migrations += 1
+        elif kind == "shed":
+            self.sheds += 1
+        elif kind == "reroute":
+            self.reroutes += 1
+        elif kind == "shard-down":
+            self.shard_downs += 1
+        elif kind == "shard-up":
+            self.shard_ups += 1
 
     def counters(self) -> Dict[str, float]:
         """The aggregate counters as one flat dict (CLI/JSON surface)."""
@@ -142,6 +154,10 @@ class StreamingAggregationSink(TelemetrySink):
             "preemptions": self.preemptions,
             "migrations": self.migrations,
             "completions": self.completions,
+            "sheds": self.sheds,
+            "reroutes": self.reroutes,
+            "shard_downs": self.shard_downs,
+            "shard_ups": self.shard_ups,
             "makespan_ms": self.makespan_ms,
             "events": self.events_seen,
         }

@@ -43,6 +43,12 @@ def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
         help="fuzz N sampled cases instead of sweeping a scenario's cells",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="fault-aware fuzzing: sample only fleet deployments and "
+             "inject a deterministic fault schedule (shard kills, drains, "
+             "degradation, latency skew) into every case",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
         help="root seed of the fuzz sampler (default: 0)",
     )
@@ -76,7 +82,11 @@ def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _check_case(oracle: DifferentialOracle, case: FuzzCase) -> DivergenceReport:
-    return oracle.check(case.system, case.arrivals(), case.params())
+    report = oracle.check(case.system, case.arrivals(), case.params())
+    # Faulted fleet cases additionally audit the serving plan: losing a
+    # request is a failure even when every kernel agrees bit-for-bit.
+    report.plan_violations = case.plan_violations()
+    return report
 
 
 def _handle_failure(
@@ -129,19 +139,27 @@ def run_verify_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    chaos = bool(getattr(args, "chaos", False))
     if args.fuzz is not None:
         if args.fuzz < 1:
             print(f"error: --fuzz must be >= 1, got {args.fuzz}", file=sys.stderr)
             return 2
         try:
             fuzzer = ScenarioFuzzer(
-                args.seed, scenario=args.scenario, systems=args.system
+                args.seed, scenario=args.scenario, systems=args.system,
+                chaos=chaos,
             )
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
         cases: List[FuzzCase] = list(fuzzer.cases(args.fuzz))
-        banner = f"fuzzing {len(cases)} cases (seed {args.seed})"
+        banner = (
+            f"{'chaos-' if chaos else ''}fuzzing {len(cases)} cases "
+            f"(seed {args.seed})"
+        )
+    elif chaos:
+        print("error: --chaos requires --fuzz N", file=sys.stderr)
+        return 2
     else:
         name = args.scenario or "smoke"
         try:

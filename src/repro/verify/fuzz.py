@@ -27,6 +27,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 from ..apps.benchmarks import BENCHMARKS
 from ..campaign.scenario import SCENARIOS, SYSTEM_REGISTRY, Scenario, system_names
+from ..chaos import FaultSchedule, sample_fault_schedule
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..fleet import (
     FLEET_SCENARIOS,
@@ -34,6 +35,7 @@ from ..fleet import (
     FleetWorkload,
     partition_arrivals,
     policy_names,
+    supervised_partition,
 )
 from ..workloads.generator import Arrival, Condition, WorkloadSpec
 
@@ -60,19 +62,43 @@ SAFE_OVERRIDES: Dict[str, Tuple[float, ...]] = {
 
 
 @lru_cache(maxsize=64)
+def _fleet_serving_plan(
+    workload: FleetWorkload,
+    n_shards: int,
+    policy: str,
+    seed: int,
+    sequence_index: int,
+    faults: Tuple[Tuple[str, float, int, float, float], ...],
+):
+    """Memoized supervised serving plan of one faulted fleet deployment."""
+    stream = workload.arrivals(seed, sequence_index)
+    return supervised_partition(
+        stream, n_shards, policy, seed, FaultSchedule.from_tuples(faults)
+    )
+
+
+@lru_cache(maxsize=64)
 def _fleet_dispatch_plan(
     workload: FleetWorkload,
     n_shards: int,
     policy: str,
     seed: int,
     sequence_index: int,
+    faults: Tuple[Tuple[str, float, int, float, float], ...] = (),
 ) -> Tuple[Tuple[Arrival, ...], ...]:
     """Memoized dispatch plan shared by a fleet scenario's shard cases.
 
     A fleet sweep enumerates one case per shard of the same deployment;
     without the memo every case would regenerate the full global stream
-    and re-route it (O(shards²) partitions per sweep).
+    and re-route it (O(shards²) partitions per sweep).  A non-empty fault
+    schedule routes through the supervised control plane instead of the
+    frozen front-end.
     """
+    if faults:
+        plan = _fleet_serving_plan(
+            workload, n_shards, policy, seed, sequence_index, faults
+        )
+        return tuple(tuple(shard) for shard in plan.streams)
     stream = workload.arrivals(seed, sequence_index)
     return tuple(
         tuple(shard)
@@ -103,6 +129,9 @@ class FuzzCase:
     policy: str = ""
     shard: int = 0
     fleet_kind: str = ""
+    #: Fault schedule injected into the fleet's control plane, flat-tuple
+    #: form (``FaultSpec.to_tuple``).  Only meaningful for fleet cases.
+    faults: Tuple[Tuple[str, float, int, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", tuple(self.apps))
@@ -113,6 +142,15 @@ class FuzzCase:
             raise ValueError(
                 f"shard {self.shard} outside [0, {self.n_shards})"
             )
+        schedule = FaultSchedule(
+            fault if isinstance(fault, tuple) else tuple(fault)
+            for fault in self.faults
+        )
+        if self.n_shards:
+            schedule.validate_for(self.n_shards)
+        elif schedule:
+            raise ValueError("faults require a fleet case (n_shards > 0)")
+        object.__setattr__(self, "faults", schedule.to_tuples())
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +175,9 @@ class FuzzCase:
             apps=self.apps,
         )
 
+    def fault_schedule(self) -> FaultSchedule:
+        return FaultSchedule.from_tuples(self.faults)
+
     def arrivals(self) -> List[Arrival]:
         if self.is_fleet:
             shards = _fleet_dispatch_plan(
@@ -145,9 +186,31 @@ class FuzzCase:
                 self.policy or "hash",
                 self.seed,
                 self.sequence_index,
+                self.faults,
             )
             return list(shards[self.shard])
         return self.workload().sequence(self.seed, self.sequence_index)
+
+    def plan_violations(self) -> List[str]:
+        """No-lost-requests audit of this case's serving plan.
+
+        Empty for non-fleet and fault-free cases.  For faulted fleet
+        cases the supervised plan is checked against the ledger/stream
+        invariants (:func:`repro.verify.invariants.check_serving_plan`);
+        any finding is a control-plane bug the oracle must surface even
+        when the kernels agree with each other.
+        """
+        if not (self.is_fleet and self.faults):
+            return []
+        from .invariants import check_serving_plan  # lazy: heavy import
+
+        workload = self.fleet_workload()
+        plan = _fleet_serving_plan(
+            workload, self.n_shards, self.policy or "hash",
+            self.seed, self.sequence_index, self.faults,
+        )
+        stream = workload.arrivals(self.seed, self.sequence_index)
+        return [str(v) for v in check_serving_plan(plan, stream)]
 
     def params(self) -> SystemParameters:
         if not self.overrides:
@@ -168,6 +231,11 @@ class FuzzCase:
                 f"fleet {self.fleet_kind or 'uniform'} "
                 f"shard {self.shard}/{self.n_shards} via {self.policy or 'hash'}"
             )
+        if self.faults:
+            parts.append(
+                "faults "
+                + ",".join(f.describe() for f in self.fault_schedule())
+            )
         if self.overrides:
             parts.append(
                 "overrides "
@@ -180,6 +248,7 @@ class FuzzCase:
         payload = dataclasses.asdict(self)
         payload["apps"] = list(self.apps)
         payload["overrides"] = [list(pair) for pair in self.overrides]
+        payload["faults"] = [list(fault) for fault in self.faults]
         return payload
 
     @classmethod
@@ -263,6 +332,7 @@ def cases_from_fleet_scenario(scenario: FleetScenario) -> List[FuzzCase]:
                     policy=scenario.policy,
                     shard=shard,
                     fleet_kind=workload.kind,
+                    faults=scenario.faults,
                 )
             )
     return cases
@@ -278,6 +348,7 @@ class ScenarioFuzzer:
         systems: Optional[Sequence[str]] = None,
         max_apps: int = 6,
         max_batch: int = 12,
+        chaos: bool = False,
     ) -> None:
         if (
             scenario is not None
@@ -287,6 +358,11 @@ class ScenarioFuzzer:
             raise KeyError(
                 f"unknown scenario {scenario!r}; available: "
                 f"{', '.join((*SCENARIOS, *FLEET_SCENARIOS))}"
+            )
+        if chaos and scenario is not None and scenario not in FLEET_SCENARIOS:
+            raise KeyError(
+                f"chaos fuzzing needs a fleet scenario, not {scenario!r}; "
+                f"available: {', '.join(FLEET_SCENARIOS)}"
             )
         unknown = [name for name in (systems or ()) if name not in SYSTEM_REGISTRY]
         if unknown:
@@ -299,11 +375,17 @@ class ScenarioFuzzer:
         self.systems = tuple(systems) if systems else ()
         self.max_apps = max_apps
         self.max_batch = max_batch
+        #: Chaos mode samples only fleet deployments and always injects a
+        #: fault schedule into each.
+        self.chaos = chaos
 
     def case(self, index: int) -> FuzzCase:
         """Sample case ``index`` (independent of every other index)."""
         rng = random.Random(f"verify-fuzz/{self.seed}/{index}")
-        name = self.scenario or rng.choice([*SCENARIOS, *FLEET_SCENARIOS])
+        if self.chaos:
+            name = self.scenario or rng.choice(list(FLEET_SCENARIOS))
+        else:
+            name = self.scenario or rng.choice([*SCENARIOS, *FLEET_SCENARIOS])
         if name in FLEET_SCENARIOS:
             return self._fleet_case(index, rng, FLEET_SCENARIOS[name])
         template = SCENARIOS[name]
@@ -368,6 +450,16 @@ class ScenarioFuzzer:
         for _ in range(rng.randint(0, 2)):
             key = rng.choice(sorted(SAFE_OVERRIDES))
             overrides[key] = rng.choice(SAFE_OVERRIDES[key])
+        faults: Tuple[Tuple[str, float, int, float, float], ...] = ()
+        if self.chaos or rng.random() < 0.35:
+            # A schedule sized to the sampled stream: faults land inside
+            # the expected arrival span, so kills actually interact with
+            # admissions instead of firing into a drained fleet.
+            lo_ms, hi_ms = Condition[condition].interval_range
+            span_ms = max(1.0, n_apps * (lo_ms + hi_ms) / 2.0)
+            faults = sample_fault_schedule(
+                rng.randrange(1_000_000), n_shards, span_ms
+            ).to_tuples()
         return FuzzCase(
             case_id=index,
             system=system,
@@ -383,6 +475,7 @@ class ScenarioFuzzer:
             policy=policy,
             shard=shard,
             fleet_kind=template.workload.kind,
+            faults=faults,
         )
 
     def cases(self, count: int) -> Iterator[FuzzCase]:
@@ -397,11 +490,22 @@ class ScenarioFuzzer:
 
 def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
     """Strictly simpler variants of ``case``, most aggressive first."""
+    if case.faults:
+        # Faults shrink first: a divergence that survives without any
+        # fault schedule is a plain kernel bug, not a chaos finding —
+        # and a one-shard-fewer schedule isolates which failure matters.
+        yield dataclasses.replace(case, faults=())
+        for shard in sorted({fault[2] for fault in case.faults}):
+            remaining = tuple(
+                fault for fault in case.faults if fault[2] != shard
+            )
+            if remaining != case.faults:
+                yield dataclasses.replace(case, faults=remaining)
     if case.is_fleet:
         # Drop the fleet wrapping entirely: the full (unrouted) stream on
         # one cluster is the simplest variant of a shard case.
         yield dataclasses.replace(
-            case, n_shards=0, policy="", shard=0, fleet_kind=""
+            case, n_shards=0, policy="", shard=0, fleet_kind="", faults=()
         )
     for n_apps in sorted({1, case.n_apps // 2, case.n_apps - 1}):
         if 1 <= n_apps < case.n_apps:
@@ -409,7 +513,8 @@ def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
     if case.is_fleet:
         if case.n_shards > 2:
             yield dataclasses.replace(
-                case, n_shards=2, shard=min(case.shard, 1)
+                case, n_shards=2, shard=min(case.shard, 1),
+                faults=tuple(f for f in case.faults if f[2] < 2),
             )
         if case.shard:
             yield dataclasses.replace(case, shard=0)
@@ -528,11 +633,18 @@ def load_repro(path: Union[str, Path]) -> Tuple[FuzzCase, Optional[Dict[str, obj
 
 
 def replay_case(case: FuzzCase, oracle=None):
-    """Run one case through the oracle; returns the fresh report."""
+    """Run one case through the oracle; returns the fresh report.
+
+    For faulted fleet cases the report also carries the serving-plan
+    audit: a control plane that lost or double-served a request fails
+    the case even when every kernel agrees.
+    """
     from .oracle import DifferentialOracle  # lazy: fuzz is imported by oracle users
 
     oracle = oracle if oracle is not None else DifferentialOracle()
-    return oracle.check(case.system, case.arrivals(), case.params())
+    report = oracle.check(case.system, case.arrivals(), case.params())
+    report.plan_violations = case.plan_violations()
+    return report
 
 
 def replay_repro(path: Union[str, Path], oracle=None):

@@ -278,6 +278,146 @@ def check_tracker(tracker, board: FPGABoard) -> List[str]:
     return problems
 
 
+def check_serving_plan(plan, arrivals) -> List[Violation]:
+    """No-lost-requests audit of a supervised serving plan.
+
+    Every input arrival must carry exactly one terminal disposition
+    (served exactly once on a shard that was SERVING at admission, or
+    explicitly shed inside a degraded window); the final per-shard
+    streams must contain exactly the served requests, time-sorted; and
+    the typed shed/reroute events must reconcile with the ledger.
+    Violations are collected, never raised, so the oracle can report
+    every broken guarantee of a plan at once.
+    """
+    violations: List[Violation] = []
+
+    def note(time_ms: float, invariant: str, detail: str) -> None:
+        violations.append(Violation(time_ms, invariant, detail))
+
+    def state_at(history, time_ms: float) -> str:
+        state = history[0][1] if history else "?"
+        for at_ms, to_state, _ in history:
+            if at_ms > time_ms:
+                break
+            state = to_state
+        return state
+
+    arrivals = list(arrivals)
+    if len(plan.ledger) != len(arrivals):
+        note(
+            0.0, "no-lost-requests",
+            f"ledger has {len(plan.ledger)} records for "
+            f"{len(arrivals)} arrivals",
+        )
+        return violations
+
+    served_by_shard: dict = {}
+    for record, arrival in zip(plan.ledger, arrivals):
+        if (record.app, record.batch, record.submitted_ms) != (
+            arrival.app_name, arrival.batch_size, arrival.time_ms
+        ):
+            note(
+                record.submitted_ms, "no-lost-requests",
+                f"request {record.seq}: ledger identity "
+                f"({record.app}, {record.batch}, {record.submitted_ms}) "
+                f"!= arrival ({arrival.app_name}, {arrival.batch_size}, "
+                f"{arrival.time_ms})",
+            )
+        if record.disposition == "served":
+            if not 0 <= record.shard < plan.n_shards:
+                note(
+                    record.time_ms, "no-lost-requests",
+                    f"request {record.seq} served on shard {record.shard} "
+                    f"outside [0, {plan.n_shards})",
+                )
+                continue
+            if record.time_ms < record.submitted_ms:
+                note(
+                    record.time_ms, "no-lost-requests",
+                    f"request {record.seq} admitted at {record.time_ms} "
+                    f"before submission at {record.submitted_ms}",
+                )
+            history = plan.histories.get(record.shard, [])
+            state = state_at(history, record.time_ms)
+            if state != "serving":
+                note(
+                    record.time_ms, "serving-state",
+                    f"request {record.seq} admitted to shard "
+                    f"{record.shard} in state {state!r} at "
+                    f"t={record.time_ms:g}",
+                )
+            served_by_shard.setdefault(record.shard, []).append(record)
+        elif record.disposition == "shed":
+            if not record.shed_reason:
+                note(
+                    record.time_ms, "shed-policy",
+                    f"request {record.seq} shed without a reason",
+                )
+            inside = any(
+                start <= record.time_ms and (end is None or record.time_ms < end)
+                for start, end in plan.shed_windows
+            )
+            if not inside:
+                note(
+                    record.time_ms, "shed-policy",
+                    f"request {record.seq} shed ({record.shed_reason}) at "
+                    f"t={record.time_ms:g} outside every degraded window",
+                )
+        else:
+            note(
+                record.submitted_ms, "no-lost-requests",
+                f"request {record.seq} has no terminal disposition "
+                f"(got {record.disposition!r})",
+            )
+
+    # Streams contain exactly the served requests, time-sorted.
+    for shard, stream in enumerate(plan.streams):
+        times = [arrival.time_ms for arrival in stream]
+        if times != sorted(times):
+            note(
+                times[0] if times else 0.0, "stream-consistency",
+                f"shard {shard} stream is not time-sorted",
+            )
+        expected = sorted(
+            (r.time_ms, r.app, r.batch)
+            for r in served_by_shard.get(shard, [])
+        )
+        got = sorted(
+            (a.time_ms, a.app_name, a.batch_size) for a in stream
+        )
+        if expected != got:
+            note(
+                0.0, "stream-consistency",
+                f"shard {shard} stream holds {len(got)} requests but the "
+                f"ledger served {len(expected)} there (or identities "
+                "differ)",
+            )
+
+    # Typed events reconcile with the ledger.
+    shed_events = sum(1 for e in plan.events if e.kind == "shed")
+    reroute_events = sum(1 for e in plan.events if e.kind == "reroute")
+    shed_records = sum(1 for r in plan.ledger if r.disposition == "shed")
+    hops = sum(len(r.rerouted_from) for r in plan.ledger)
+    shed_after_reroute = sum(
+        1 for r in plan.ledger
+        if r.disposition == "shed" and r.rerouted_from
+    )
+    if shed_events != shed_records:
+        note(
+            0.0, "event-ledger",
+            f"{shed_events} shed events vs {shed_records} shed ledger "
+            "records",
+        )
+    if reroute_events != hops - shed_after_reroute:
+        note(
+            0.0, "event-ledger",
+            f"{reroute_events} reroute events vs "
+            f"{hops - shed_after_reroute} successful reroute hops in the "
+            "ledger",
+        )
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # The live monitor
 # ---------------------------------------------------------------------------

@@ -231,6 +231,10 @@ class DivergenceReport:
     #: ``(index, reference_line, optimized_line)`` of the first trace
     #: record the kernels disagree on (a missing line reads as None).
     first_trace_divergence: Optional[Tuple[int, Optional[str], Optional[str]]] = None
+    #: No-lost-requests findings from the serving-plan audit of a faulted
+    #: fleet case (``check_serving_plan``).  Kernel-independent: a broken
+    #: control plane fails the oracle even when every kernel agrees.
+    plan_violations: List[str] = field(default_factory=list)
 
     @property
     def diverged(self) -> bool:
@@ -244,6 +248,7 @@ class DivergenceReport:
         fingerprints.extend(self.candidates if self.candidates else [self.optimized])
         for fingerprint in fingerprints:
             out.extend(f"{fingerprint.kernel}: {v}" for v in fingerprint.violations)
+        out.extend(f"serving-plan: {v}" for v in self.plan_violations)
         return out
 
     @property

@@ -41,8 +41,12 @@ from repro.telemetry import (
     N_BUCKETS,
     PreemptionEvent,
     QUANTILE_REL_ERROR,
+    RequestReroutedEvent,
+    RequestShedEvent,
     ResponseDigest,
     ShardAdmissionEvent,
+    ShardDownEvent,
+    ShardRecoveredEvent,
     SlotTransitionEvent,
     StreamingAggregationSink,
     TelemetryBus,
@@ -255,6 +259,10 @@ class TestTelemetryEvents:
         PreemptionEvent(5.0, "OF#2", "of-t3"),
         MigrationEvent(6.0, "DR#3", 3),
         CompletionEvent(7.0, "IC#1", 1, 2.0, 5.0),
+        ShardDownEvent(8.0, 0, "kill"),
+        RequestReroutedEvent(8.5, "IC", 12, 0, 2),
+        RequestShedEvent(9.0, "OF", 6, "degraded-capacity"),
+        ShardRecoveredEvent(10.0, 0, 2000.0),
     ]
 
     def test_round_trip_every_kind(self):
