@@ -12,6 +12,12 @@ and the benches) is layered on top of this package:
   (JSONL under ``results/``) consumed by reporting and replay.
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner`, tying the three
   together.
+
+Durable persistence beyond the plain JSONL file — snapshots, resumable
+campaigns, the SQLite recorder, incremental report projections — lives
+in :mod:`repro.store`; the runner and :func:`load_records` route through
+it when those features are requested (or a SQLite path is given), and
+stay byte-identical to the legacy path otherwise.
 """
 
 from .backend import (
@@ -28,12 +34,15 @@ from .backend import (
 )
 from .results import (
     COUNTER_FIELDS,
+    RESULTS_FILE_SCHEMA,
     ResultsStore,
     RunRecord,
     SCHEMA_VERSION,
     fingerprint_parameters,
     group_by_system,
+    is_results_header,
     load_records,
+    results_header,
 )
 from .runner import CampaignRunner
 from .scenario import (
@@ -56,6 +65,7 @@ __all__ = [
     "DEFAULT_HORIZON_MS",
     "DrainError",
     "ProcessBackend",
+    "RESULTS_FILE_SCHEMA",
     "ResultsStore",
     "RunRecord",
     "SCENARIOS",
@@ -71,8 +81,10 @@ __all__ = [
     "get_scenario",
     "get_system",
     "group_by_system",
+    "is_results_header",
     "load_records",
     "make_backend",
+    "results_header",
     "register_scenario",
     "register_system",
     "scenario_names",

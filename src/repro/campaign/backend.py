@@ -304,7 +304,16 @@ def execute_cell(cell: CampaignCell) -> RunRecord:
 
 
 class SerialBackend:
-    """Reference backend: cells run in order, in this process."""
+    """Reference backend: cells run in order, in this process.
+
+    Backend contract (both backends, relied on by
+    :func:`repro.store.resume.execute_with_store`): ``run`` returns one
+    record per input cell, in input order, and each record depends only
+    on its own cell — never on which other cells shared the call.  That
+    is what lets the store layer dispatch cells in snapshot-sized chunks
+    (and re-dispatch only the unfinished ones on ``--resume``) with
+    results bit-identical to one monolithic ``run``.
+    """
 
     name = "serial"
 

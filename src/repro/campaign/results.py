@@ -24,6 +24,26 @@ from ..telemetry.digest import ResponseDigest
 #: Bumped whenever the on-disk record shape changes incompatibly.
 SCHEMA_VERSION = 1
 
+#: Header line tag for results files.  A *string* (vs the integer record
+#: ``schema`` field) so a header can never be mistaken for a record and a
+#: handwritten ``{"schema": 1}`` line still fails record validation with
+#: its line number, as pinned by the store tests.
+RESULTS_FILE_SCHEMA = "repro-results/1"
+
+
+def results_header() -> Dict[str, object]:
+    """The header payload both :meth:`ResultsStore.write` and
+    :meth:`ResultsStore.extend` put on line 1 of a brand-new file."""
+    return {"schema": RESULTS_FILE_SCHEMA}
+
+
+def is_results_header(payload: object) -> bool:
+    """True when a parsed line-1 payload is the file header, not a record."""
+    return (
+        isinstance(payload, dict)
+        and payload.get("schema") == RESULTS_FILE_SCHEMA
+    )
+
 #: Counter names copied off ``SchedulerStats`` into every record.
 COUNTER_FIELDS = (
     "arrivals",
@@ -170,6 +190,7 @@ class ResultsStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(results_header(), sort_keys=True) + "\n")
             for record in records:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
             handle.flush()
@@ -187,7 +208,14 @@ class ResultsStore:
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._repair_truncated_tail()
+        # A brand-new (or empty) file gets the same header line ``write``
+        # emits, so the two creation paths produce identical files.
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
         with self.path.open("a", encoding="utf-8") as handle:
+            if fresh:
+                handle.write(
+                    json.dumps(results_header(), sort_keys=True) + "\n"
+                )
             for record in records:
                 handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
             handle.flush()
@@ -254,6 +282,8 @@ class ResultsStore:
             for line_no, payload in iter_jsonl_payloads(
                 handle, self.path, what="record", on_skip=on_skip
             ):
+                if line_no == 1 and is_results_header(payload):
+                    continue
                 try:
                     records.append(RunRecord.from_dict(payload))
                 except ValueError as exc:
@@ -264,7 +294,16 @@ class ResultsStore:
 
 
 def load_records(path: Union[str, Path]) -> List[RunRecord]:
-    """Convenience loader used by the CLI ``replay`` command."""
+    """Convenience loader used by the CLI ``replay`` command.
+
+    Accepts both on-disk formats: plain results JSONL and the SQLite
+    event store (sniffed by suffix or file magic).
+    """
+    from ..store import is_sqlite_path, open_store  # lazy: avoids a cycle
+
+    if is_sqlite_path(path):
+        with open_store(path, backend="sqlite") as store:
+            return store.load()
     return ResultsStore(path).load()
 
 

@@ -16,34 +16,69 @@ class CampaignRunner:
 
     ``jobs=1`` selects the deterministic serial reference backend;
     ``jobs=N`` fans cells out over N worker processes.  When a ``store``
-    (or path) is given, every produced record is appended to that JSONL
-    file so figures can later be replayed without re-simulating.
+    (or path) is given, every produced record is appended there so figures
+    can later be replayed without re-simulating.  Paths keep their legacy
+    JSONL behavior unless durability features are requested:
+    ``snapshot_every`` checkpoints a resumable
+    :class:`~repro.store.snapshot.CampaignSnapshot` into the store every N
+    completed cells, ``resume`` skips cells the store already holds a
+    successful record for, and ``store_backend`` selects the recorder
+    (``"jsonl"`` / ``"sqlite"``; paths with a SQLite suffix or file magic
+    auto-select SQLite).
     """
 
     def __init__(
         self,
         jobs: int = 1,
         backend=None,
-        store: Optional[Union[ResultsStore, str, Path]] = None,
+        store=None,
         base_params: Optional[SystemParameters] = None,
         raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
         timeout_s: Optional[float] = None,
+        snapshot_every: int = 0,
+        resume: bool = False,
+        store_backend: Optional[str] = None,
     ) -> None:
         self.backend = (
             backend
             if backend is not None
             else make_backend(jobs, timeout_s=timeout_s)
         )
-        if store is not None and not isinstance(store, ResultsStore):
-            store = ResultsStore(store)
-        self.store = store
+        self.snapshot_every = snapshot_every
+        self.resume = resume
+        #: Outcome of the most recent :meth:`run_cells` (resumed/executed
+        #: counts) — the CLI surfaces it after a ``--resume`` run.
+        self.last_outcome = None
+        self.store = self._resolve_store(store, store_backend)
         self.base_params = base_params
         #: Persist raw per-request samples on records (``--raw-samples``);
         #: off by default — records carry the bounded-memory digest.
         self.raw_samples = raw_samples
         #: When set, every cell writes its typed event stream under here.
         self.events_dir = Path(events_dir) if events_dir is not None else None
+
+    def _resolve_store(self, store, store_backend: Optional[str]):
+        """Map the ``store`` argument onto a concrete store object.
+
+        Store objects pass through untouched.  A path stays a plain
+        :class:`ResultsStore` (the legacy, bit-identical default) unless
+        snapshots/resume/an explicit or sniffed non-JSONL backend ask for
+        the event store.
+        """
+        if store is None or not isinstance(store, (str, Path)):
+            return store
+        from ..store import is_sqlite_path, open_store
+
+        wants_event_store = (
+            self.resume
+            or self.snapshot_every > 0
+            or store_backend is not None
+            or is_sqlite_path(store)
+        )
+        if wants_event_store:
+            return open_store(store, backend=store_backend)
+        return ResultsStore(store)
 
     def cells_for(self, scenario: Scenario) -> List[CampaignCell]:
         """Enumerate a scenario into cells, sequence-major then system.
@@ -85,7 +120,14 @@ class CampaignRunner:
 
     def run_cells(self, cells: Sequence[CampaignCell]) -> List[RunRecord]:
         """Run pre-built cells (ad-hoc campaigns over explicit arrivals)."""
-        records = self.backend.run(list(cells))
-        if self.store is not None:
-            self.store.extend(records)
-        return records
+        from ..store.resume import execute_with_store
+
+        outcome = execute_with_store(
+            self.backend,
+            list(cells),
+            store=self.store,
+            snapshot_every=self.snapshot_every,
+            resume=self.resume,
+        )
+        self.last_outcome = outcome
+        return outcome.records

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .bench import add_bench_arguments, run_bench_command
@@ -36,6 +37,7 @@ from .campaign import (
     get_scenario,
     scenario_names,
 )
+from .store import DEFAULT_SNAPSHOT_EVERY
 from .experiments import (
     PAPER_SWITCH_OVERHEAD_MS,
     Fig5Result,
@@ -82,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="append per-run JSONL records to PATH (replayable via `replay`)",
         )
 
+    def add_durability_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--resume", action="store_true",
+            help="skip cells the store already holds a successful record "
+                 "for (continue an interrupted run; the resumed results are "
+                 "bit-identical to an uninterrupted run)",
+        )
+        p.add_argument(
+            "--snapshot-every", type=int, default=None, metavar="N",
+            help="checkpoint a resumable campaign snapshot into the store "
+                 "every N completed cells (default: off; --resume implies "
+                 f"{DEFAULT_SNAPSHOT_EVERY})",
+        )
+        p.add_argument(
+            "--store-backend", choices=("jsonl", "sqlite"), default=None,
+            help="durable store format for --out (default: jsonl; paths "
+                 "ending in .sqlite/.db auto-select sqlite)",
+        )
+
     fig5 = sub.add_parser("fig5", help="relative response-time reduction")
     fig5.add_argument("--sequences", type=int, default=2)
     fig5.add_argument("--apps", type=int, default=20)
@@ -120,16 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write each cell's typed telemetry event stream as "
                           "a replayable JSONL log under DIR")
     add_parallel_options(run)
+    add_durability_options(run)
     campaign_replay = campaign_sub.add_parser(
         "replay",
         help="replay persisted results or a fuzzer repro file",
     )
     campaign_replay.add_argument(
-        "path", help="JSONL records file, or a verify-repro JSON file"
+        "path",
+        help="JSONL records file, SQLite event store, or a verify-repro "
+             "JSON file",
     )
     campaign_replay.add_argument(
         "--figure", choices=("summary", "fig5", "fig6"), default="summary",
         help="rendering for records files (ignored for repro files)",
+    )
+    campaign_replay.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON (records/skipped-line counts included) "
+             "instead of a table",
     )
 
     fleet = sub.add_parser(
@@ -154,6 +183,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write admission + per-shard telemetry event "
                                 "logs under DIR")
     add_parallel_options(fleet_run)
+    add_durability_options(fleet_run)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain durable event stores (notification "
+             "logs, snapshots, incremental projections)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_inspect = store_sub.add_parser(
+        "inspect", help="summarize a store's notification log and snapshots"
+    )
+    store_inspect.add_argument("path", help="results JSONL file or SQLite store")
+    store_inspect.add_argument("--json", action="store_true",
+                               help="machine-readable JSON instead of a table")
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="audit a store: log shape, snapshot consistency, and every "
+             "incremental projection against a full rebuild",
+    )
+    store_verify.add_argument("path", help="results JSONL file or SQLite store")
+    store_export = store_sub.add_parser(
+        "export",
+        help="copy every record of one store into another (format "
+             "conversion: jsonl <-> sqlite)",
+    )
+    store_export.add_argument("path", help="source store")
+    store_export.add_argument("dest", help="destination store path")
+    store_export.add_argument(
+        "--store-backend", choices=("jsonl", "sqlite"), default=None,
+        help="destination format (default: sniffed from the path)",
+    )
+    store_ingest = store_sub.add_parser(
+        "ingest",
+        help="append the events of telemetry JSONL log(s) to a store's "
+             "notification log",
+    )
+    store_ingest.add_argument("path", help="destination store")
+    store_ingest.add_argument(
+        "events", nargs="+", help="telemetry event log(s) written by --events-dir"
+    )
 
     telemetry = sub.add_parser(
         "telemetry",
@@ -188,10 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(bench)
 
     replay = sub.add_parser("replay", help="re-render results from persisted records")
-    replay.add_argument("path", help="JSONL records file written by --out")
+    replay.add_argument(
+        "path", help="records file (JSONL or SQLite store) written by --out"
+    )
     replay.add_argument(
         "--figure", choices=("summary", "fig5", "fig6"), default="summary",
         help="rendering: raw summary table or a figure recomputation",
+    )
+    replay.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON (records/skipped-line counts included) "
+             "instead of a table",
     )
 
     sub.add_parser("list", help="list the evaluated systems")
@@ -210,6 +286,25 @@ def _operator_error(exc: Exception) -> int:
     else:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
     return 2
+
+
+def _effective_snapshot_every(args: argparse.Namespace) -> int:
+    """Resolve ``--snapshot-every`` (``--resume`` implies the default)."""
+    if args.snapshot_every is not None:
+        if args.snapshot_every < 1:
+            raise ValueError(
+                f"--snapshot-every must be >= 1, got {args.snapshot_every}"
+            )
+        return args.snapshot_every
+    return DEFAULT_SNAPSHOT_EVERY if args.resume else 0
+
+
+def _default_out(scenario_name: str, args: argparse.Namespace) -> str:
+    """The results path when ``--out`` is absent (backend picks the suffix)."""
+    if args.out:
+        return args.out
+    suffix = "sqlite" if args.store_backend == "sqlite" else "jsonl"
+    return f"results/{scenario_name}.{suffix}"
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -251,18 +346,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # Unknown scenario name, or scale flags the workload rejects
         # (e.g. --sequences 0).
         return _operator_error(exc)
-    out = args.out if args.out else f"results/{scenario.name}.jsonl"
-    store = ResultsStore(out)
+    try:
+        snapshot_every = _effective_snapshot_every(args)
+    except ValueError as exc:
+        return _operator_error(exc)
     runner = CampaignRunner(
         jobs=args.jobs,
-        store=store,
+        store=_default_out(scenario.name, args),
         raw_samples=args.raw_samples,
         events_dir=args.events_dir,
         timeout_s=getattr(args, "cell_timeout", None),
+        snapshot_every=snapshot_every,
+        resume=args.resume,
+        store_backend=args.store_backend,
     )
     records = runner.run(scenario)
     print(summarize_records(records))
-    print(f"\n{len(records)} records appended to {store.path}")
+    outcome = runner.last_outcome
+    if outcome is not None and outcome.resumed:
+        print(
+            f"\nresume: {outcome.resumed} cell(s) already persisted, "
+            f"{outcome.executed} executed this run"
+        )
+    print(f"\n{len(records)} records appended to {runner.store.path}")
     if args.events_dir:
         print(f"telemetry event logs written under {args.events_dir}")
     return 0
@@ -309,17 +415,29 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     except (KeyError, ValueError) as exc:
         return _operator_error(exc)
-    out = args.out if args.out else f"results/{scenario.name}.jsonl"
-    store = ResultsStore(out)
+    try:
+        snapshot_every = _effective_snapshot_every(args)
+    except ValueError as exc:
+        return _operator_error(exc)
+    out = _default_out(scenario.name, args)
     result = Fleet(scenario).run(
         jobs=args.jobs,
-        store=store,
+        store=out,
         keep_raw_samples=args.raw_samples,
         events_dir=args.events_dir,
         timeout_s=getattr(args, "cell_timeout", None),
+        snapshot_every=snapshot_every,
+        resume=args.resume,
+        store_backend=args.store_backend,
     )
     print(result.rollup.table())
-    print(f"\n{len(result.records)} shard records appended to {store.path}")
+    if result.resumed_cells:
+        print(
+            f"\nresume: {result.resumed_cells} shard cell(s) already "
+            f"persisted, {len(result.records) - result.resumed_cells} "
+            "executed this run"
+        )
+    print(f"\n{len(result.records)} shard records appended to {out}")
     if args.events_dir:
         print(f"telemetry event logs written under {args.events_dir}")
     return 0
@@ -369,59 +487,197 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_replay_records(path: str):
+    """Load RunRecords + skipped-line count from a JSONL file or SQLite store.
+
+    SQLite stores are binary, so they are detected *before* any text-mode
+    sniffing; a dropped (truncated) line in a JSONL file is surfaced in
+    the count rather than hidden behind a warning.
+    """
+    from .store import is_sqlite_path, open_store
+
+    if is_sqlite_path(path):
+        if not Path(path).exists():
+            raise FileNotFoundError(2, "No such file or directory", str(path))
+        with open_store(path, backend="sqlite") as store:
+            return store.load(), store.skipped_lines
+    store = ResultsStore(path)
+    return store.load(), store.skipped_lines
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     # A fuzzer-found repro replays as a fresh oracle comparison — the
     # one-command reproduction of a persisted kernel divergence.  All
     # other inputs are RunRecord files and replay without simulating, so
     # their failures are input problems (missing/malformed file, records
-    # that don't form the figure).
+    # that don't form the figure).  Exit codes: 0 clean, 1 empty/failed
+    # replay, 2 operator error, 3 rendered but with dropped line(s).
+    as_json = bool(getattr(args, "json", False))
     try:
-        repro_payload = sniff_repro_file(args.path)
-        if repro_payload is not None:
-            case, _ = parse_repro_payload(repro_payload, source=args.path)
-            report = replay_case(case)
-            print(report.summary())
-            return 0 if report.ok else 1
-        if sniff_event_log(args.path):
-            # A telemetry event log: re-derive the report from the typed
-            # event stream alone (no records, no simulation).
-            if getattr(args, "figure", "summary") != "summary":
-                print(
-                    f"error: {args.path} is a telemetry event log (one "
-                    "run's stream); --figure needs a multi-run records "
-                    "file — replay it without --figure for the stream "
-                    "summary",
-                    file=sys.stderr,
+        from .store import is_sqlite_path
+
+        if not is_sqlite_path(args.path):
+            repro_payload = sniff_repro_file(args.path)
+            if repro_payload is not None:
+                case, _ = parse_repro_payload(repro_payload, source=args.path)
+                report = replay_case(case)
+                print(report.summary())
+                return 0 if report.ok else 1
+            if sniff_event_log(args.path):
+                # A telemetry event log: re-derive the report from the
+                # typed event stream alone (no records, no simulation).
+                if getattr(args, "figure", "summary") != "summary":
+                    print(
+                        f"error: {args.path} is a telemetry event log (one "
+                        "run's stream); --figure needs a multi-run records "
+                        "file — replay it without --figure for the stream "
+                        "summary",
+                        file=sys.stderr,
+                    )
+                    return 2
+                telemetry_args = argparse.Namespace(
+                    telemetry_command="summarize", path=args.path,
+                    json=as_json,
                 )
-                return 2
-            telemetry_args = argparse.Namespace(
-                telemetry_command="summarize", path=args.path, json=False
-            )
-            return _cmd_telemetry(telemetry_args)
-        store = ResultsStore(args.path)
-        records = store.load()
+                return _cmd_telemetry(telemetry_args)
+        records, skipped = _load_replay_records(args.path)
+        figure = getattr(args, "figure", "summary")
+        payload = {
+            "path": str(args.path),
+            "figure": figure,
+            "records": len(records),
+            "skipped_lines": skipped,
+        }
         if not records:
-            print(f"no records in {args.path}")
-            if store.skipped_lines:
-                print(
-                    f"note: {store.skipped_lines} truncated trailing "
-                    f"line(s) skipped while loading {args.path}"
-                )
-            return 1
-        if args.figure == "fig5":
-            print(Fig5Result.from_records(records).table())
-        elif args.figure == "fig6":
-            print(fig6_from_records(records).table())
+            if as_json:
+                print(json.dumps(payload, indent=1, sort_keys=True))
+            else:
+                print(f"no records in {args.path}")
+                if skipped:
+                    print(
+                        f"note: {skipped} truncated trailing line(s) "
+                        f"skipped while loading {args.path}"
+                    )
+            return 3 if skipped else 1
+        if figure == "fig5":
+            result = Fig5Result.from_records(records)
+            rendered = result.table()
+            payload["reductions"] = result.reductions
+        elif figure == "fig6":
+            result = fig6_from_records(records)
+            rendered = result.table()
+            payload["relative_tails"] = result.relative_tails
         else:
-            print(summarize_records(records))
-        if store.skipped_lines:
-            print(
-                f"note: {store.skipped_lines} truncated trailing line(s) "
-                f"skipped while loading {args.path}"
-            )
+            rendered = summarize_records(records)
+        if as_json:
+            payload["rendered"] = rendered
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(rendered)
+            if skipped:
+                print(
+                    f"note: {skipped} truncated trailing line(s) "
+                    f"skipped while loading {args.path}"
+                )
+        return 3 if skipped else 0
     except (KeyError, ValueError, FileNotFoundError) as exc:
         return _operator_error(exc)
-    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import default_projections, open_store
+    from .verify.cli import _run_store_audit
+
+    if args.store_command == "verify":
+        return _run_store_audit(args.path)
+    try:
+        if args.store_command == "inspect":
+            if not Path(args.path).exists():
+                raise FileNotFoundError(
+                    2, "No such file or directory", str(args.path)
+                )
+            with open_store(args.path) as store:
+                counts = store.counts()
+                max_id = store.max_id()
+                snapshot = store.latest_snapshot()
+                watermarks = {}
+                for projection in default_projections():
+                    watermark, state = store.get_projection(projection.name)
+                    if state is not None:
+                        watermarks[projection.name] = watermark
+            summary = {
+                "path": str(args.path),
+                "notifications": max_id,
+                "counts": counts,
+                "snapshot": None,
+                "projections": watermarks,
+            }
+            if snapshot is not None:
+                summary["snapshot"] = {
+                    "completed_cells": len(snapshot.completed),
+                    "covered_id": snapshot.covered_id,
+                    "response_count": int(
+                        (snapshot.digest or {}).get("count", 0)
+                    ),
+                }
+            if args.json:
+                print(json.dumps(summary, indent=1, sort_keys=True))
+                return 0
+            rows = [["notifications", max_id]]
+            rows += [[f"kind:{kind}", n] for kind, n in sorted(counts.items())]
+            if snapshot is not None:
+                rows.append(
+                    ["latest snapshot",
+                     f"{len(snapshot.completed)} cell(s) through "
+                     f"notification {snapshot.covered_id}"]
+                )
+            else:
+                rows.append(["latest snapshot", "none"])
+            for name, watermark in sorted(watermarks.items()):
+                rows.append([f"projection:{name}", f"watermark {watermark}"])
+            print(format_table(
+                ["field", "value"], rows, title=f"Event store — {args.path}"
+            ))
+            return 0
+        if args.store_command == "export":
+            if not Path(args.path).exists():
+                raise FileNotFoundError(
+                    2, "No such file or directory", str(args.path)
+                )
+            with open_store(args.path) as source:
+                notifications = list(source.select())
+            copied = {"record": 0, "event": 0, "snapshot": 0}
+            for notification in notifications:
+                copied[notification.kind] = copied.get(notification.kind, 0) + 1
+            with open_store(args.dest, backend=args.store_backend) as dest:
+                dest.recorder.append(
+                    (n.kind, n.payload) for n in notifications
+                )
+                from .store import update_projections
+
+                update_projections(dest)
+            print(
+                f"exported {copied['record']} record(s), "
+                f"{copied['event']} event(s), "
+                f"{copied['snapshot']} snapshot(s): "
+                f"{args.path} -> {args.dest}"
+            )
+            return 0
+        if args.store_command == "ingest":
+            from .telemetry import load_events
+
+            total = 0
+            with open_store(args.path) as store:
+                for events_path in args.events:
+                    events = load_events(events_path)
+                    store.append_events(events)
+                    total += len(events)
+                    print(f"  {events_path}: {len(events)} event(s)")
+            print(f"ingested {total} event(s) into {args.path}")
+            return 0
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        return _operator_error(exc)
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -438,6 +694,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_campaign(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     if args.command == "verify":

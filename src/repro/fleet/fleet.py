@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..campaign.backend import DEFAULT_HORIZON_MS, CampaignCell, make_backend
-from ..campaign.results import ResultsStore, RunRecord, merged_response_summary
+from ..campaign.results import ResultsStore, RunRecord
 from ..campaign.scenario import SYSTEM_REGISTRY, get_system
 from ..chaos import FaultSchedule, FaultSpec
 from ..config import DEFAULT_PARAMETERS, SystemParameters
@@ -230,45 +230,27 @@ class FleetRollup:
         )
 
 
-def _rollup_group(shard: int, records: List[RunRecord]) -> ShardRollup:
-    # Merge per-shard digests (or pool raw samples when records carry
-    # them) instead of concatenating per-request lists: the rollup is
-    # O(#shards), not O(#requests).
-    stats = merged_response_summary(records)
-    has_samples = stats.count > 0
-    elapsed = sum(r.utilization.get("elapsed_ms", 0.0) for r in records)
-    fabric_lut = 0.0
-    if elapsed > 0:
-        fabric_lut = sum(
-            r.utilization.get("fabric_lut", 0.0)
-            * r.utilization.get("elapsed_ms", 0.0)
-            for r in records
-        ) / elapsed
-    return ShardRollup(
-        shard=shard,
-        runs=len(records),
-        n_apps=sum(r.n_apps for r in records),
-        mean_ms=stats.mean() if has_samples else 0.0,
-        p95_ms=stats.p95() if has_samples else 0.0,
-        p99_ms=stats.p99() if has_samples else 0.0,
-        mean_makespan_ms=(
-            sum(r.makespan_ms for r in records) / len(records) if records else 0.0
-        ),
-        pr_count=int(sum(r.counters.get("pr_count", 0) for r in records)),
-        fabric_lut=fabric_lut,
-    )
-
-
 def rollup_records(
     scenario: FleetScenario,
     records: List[RunRecord],
     imbalance: float = 1.0,
     serving_plans: Optional[Mapping[int, ServingPlan]] = None,
 ) -> FleetRollup:
-    """Per-shard + global rollups of one fleet run's records."""
-    by_shard: Dict[int, List[RunRecord]] = {}
+    """Per-shard + global rollups of one fleet run's records.
+
+    The aggregation itself is the store layer's
+    :class:`~repro.store.projections.FleetRollupProjection` — the same
+    incremental fold that runs over a notification log runs here over an
+    in-memory record list, so the batch rollup and the projection cannot
+    drift apart.  Digests merge (or raw samples pool) per shard instead
+    of concatenating per-request lists: O(#shards), not O(#requests).
+    """
+    from ..store.projections import FleetRollupProjection
+
+    projection = FleetRollupProjection()
     for record in records:
-        by_shard.setdefault(record.shard, []).append(record)
+        projection.fold_record(record)
+    per_shard, overall = projection.render_rollups()
     rollup = FleetRollup(
         scenario=scenario.name,
         system=scenario.system,
@@ -280,9 +262,11 @@ def rollup_records(
             p.reroute_count for p in (serving_plans or {}).values()
         ),
     )
-    for shard in sorted(by_shard):
-        rollup.per_shard.append(_rollup_group(shard, by_shard[shard]))
-    rollup.overall = _rollup_group(-1, records)
+    rollup.per_shard = per_shard
+    rollup.overall = overall if overall is not None else ShardRollup(
+        shard=-1, runs=0, n_apps=0, mean_ms=0.0, p95_ms=0.0, p99_ms=0.0,
+        mean_makespan_ms=0.0, pr_count=0, fabric_lut=0.0,
+    )
     return rollup
 
 
@@ -300,6 +284,8 @@ class FleetResult:
     rollup: FleetRollup
     #: Per-seed supervised serving plans (empty for fault-free runs).
     serving_plans: Dict[int, ServingPlan] = field(default_factory=dict)
+    #: Shard cells skipped by ``resume=True`` (0 for fresh runs).
+    resumed_cells: int = 0
 
 
 class Fleet:
@@ -461,6 +447,9 @@ class Fleet:
         keep_raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
         timeout_s: Optional[float] = None,
+        snapshot_every: int = 0,
+        resume: bool = False,
+        store_backend: Optional[str] = None,
     ) -> FleetResult:
         """Execute every shard cell and roll the records up.
 
@@ -471,21 +460,43 @@ class Fleet:
         failure surfaced as a failure record).  ``events_dir`` persists
         the full telemetry stream: one admission log per seed from the
         front-end plus one event log per (seed × shard) cell.
+
+        ``snapshot_every`` / ``resume`` / ``store_backend`` opt the run
+        into the durable event store (:mod:`repro.store`): records append
+        in checkpointed chunks and an interrupted run resumed with
+        ``resume=True`` skips finished shard cells, producing records and
+        rollups bit-identical to an uninterrupted run.
         """
         backend = make_backend(jobs, timeout_s=timeout_s)
         plans, serving_plans = self.plan_bundle(events_dir=events_dir)
-        records = backend.run(
-            self.cells(
-                kernel=kernel,
-                plans=plans,
-                keep_raw_samples=keep_raw_samples,
-                events_dir=events_dir,
-            )
+        cells = self.cells(
+            kernel=kernel,
+            plans=plans,
+            keep_raw_samples=keep_raw_samples,
+            events_dir=events_dir,
         )
-        if store is not None:
-            if not isinstance(store, ResultsStore):
+        if isinstance(store, (str, Path)):
+            from ..store import is_sqlite_path, open_store
+
+            if (
+                resume
+                or snapshot_every > 0
+                or store_backend is not None
+                or is_sqlite_path(store)
+            ):
+                store = open_store(store, backend=store_backend)
+            else:
                 store = ResultsStore(store)
-            store.extend(records)
+        from ..store.resume import execute_with_store
+
+        outcome = execute_with_store(
+            backend,
+            cells,
+            store=store,
+            snapshot_every=snapshot_every,
+            resume=resume,
+        )
+        records = outcome.records
         imbalances = [load_imbalance(plan) for plan in plans.values()]
         rollup = rollup_records(
             self.scenario, records, sum(imbalances) / len(imbalances),
@@ -493,5 +504,5 @@ class Fleet:
         )
         return FleetResult(
             scenario=self.scenario, records=records, rollup=rollup,
-            serving_plans=serving_plans,
+            serving_plans=serving_plans, resumed_cells=outcome.resumed,
         )

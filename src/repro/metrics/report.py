@@ -73,49 +73,20 @@ def summarize_records(records: Iterable["RunRecord"]) -> str:
     replaying the simulations.  Failure records (cells whose worker
     crashed or timed out — ``record.failed``) carry no samples; they are
     kept out of the aggregates and tallied in the table title instead.
-    """
-    from ..campaign.results import merged_response_summary
 
-    groups: Dict[tuple, List["RunRecord"]] = {}
-    scenarios: List[str] = []
-    failed = 0
+    The aggregation is the store layer's
+    :class:`~repro.store.projections.RecordSummaryProjection`: the same
+    incremental fold that renders from a notification-log watermark runs
+    here over an in-memory record list (exact pooled samples when records
+    carry them, merged bounded-error digests otherwise), so the batch
+    table and the projection cannot drift apart.
+    """
+    from ..store.projections import RecordSummaryProjection
+
+    projection = RecordSummaryProjection()
     for record in records:
-        if getattr(record, "failed", False):
-            failed += 1
-            continue
-        groups.setdefault((record.condition, record.system), []).append(record)
-        if record.scenario not in scenarios:
-            scenarios.append(record.scenario)
-    if not groups:
-        if failed:
-            return f"no usable records ({failed} failed cell(s))"
-        return "no records"
-    rows = []
-    for (condition, system), runs in sorted(groups.items()):
-        # Exact pooled samples when the records carry them, merged
-        # bounded-error digests otherwise (the O(1)-memory default).
-        pooled = merged_response_summary(runs)
-        has_samples = pooled.count > 0
-        rows.append([
-            condition,
-            system,
-            len(runs),
-            pooled.mean() if has_samples else float("nan"),
-            pooled.p95() if has_samples else float("nan"),
-            pooled.p99() if has_samples else float("nan"),
-            sum(run.makespan_ms for run in runs) / len(runs),
-            int(sum(run.counters.get("pr_count", 0) for run in runs)),
-            int(sum(run.counters.get("pr_blocked", 0) for run in runs)),
-        ])
-    return format_table(
-        ["condition", "system", "runs", "mean (ms)", "p95 (ms)", "p99 (ms)",
-         "makespan (ms)", "PRs", "blocked"],
-        rows,
-        title=(
-            f"Campaign records — {', '.join(scenarios)}"
-            + (f" ({failed} failed cell(s) excluded)" if failed else "")
-        ),
-    )
+        projection.fold_record(record)
+    return projection.render()
 
 
 def _fmt(cell: object) -> str:

@@ -1,0 +1,212 @@
+"""The high-level campaign store: records, events and snapshots on one log.
+
+:class:`CampaignStore` is what the persistence layer hands the campaign
+runner and the fleet: a :class:`~repro.store.recorder.EventRecorder`
+wrapped in the domain vocabulary — append :class:`RunRecord` batches,
+ingest telemetry events, checkpoint :class:`CampaignSnapshot`\\ s, read
+everything back as one ordered notification log.  It is
+``ResultsStore``-compatible (``extend`` / ``load`` / ``path`` /
+``skipped_lines``), so every existing call site keeps working while
+gaining snapshots, resume and incremental projections.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .notification import (
+    KIND_EVENT,
+    KIND_RECORD,
+    KIND_SNAPSHOT,
+    Notification,
+    NotificationLog,
+)
+from .recorder import (
+    EventRecorder,
+    JsonlRecorder,
+    SqliteRecorder,
+    is_sqlite_path,
+)
+from .snapshot import CampaignSnapshot
+
+#: Recorder constructors by backend tag (the ``--store-backend`` choices).
+RECORDER_BACKENDS = {
+    "jsonl": JsonlRecorder,
+    "sqlite": SqliteRecorder,
+}
+
+
+class CampaignStore:
+    """Domain surface over one durable notification log."""
+
+    def __init__(self, recorder: EventRecorder) -> None:
+        self.recorder = recorder
+        self.log = NotificationLog(recorder)
+
+    # -- ResultsStore-compatible surface ---------------------------------
+    @property
+    def path(self) -> Path:
+        return self.recorder.path
+
+    @property
+    def skipped_lines(self) -> int:
+        return getattr(self.recorder, "skipped_lines", 0)
+
+    def extend(self, records: Iterable) -> Path:
+        """Durably append records (the ``ResultsStore.extend`` contract)."""
+        self.append_records(records)
+        return self.path
+
+    def load(self) -> List:
+        """Every persisted :class:`RunRecord`, in notification order."""
+        from ..campaign.results import RunRecord  # lazy: avoids a cycle
+
+        return [
+            RunRecord.from_dict(n.payload)
+            for n in self.recorder.select()
+            if n.kind == KIND_RECORD
+        ]
+
+    # -- notification-log surface ----------------------------------------
+    def select(
+        self, start: int = 1, limit: Optional[int] = None
+    ) -> List[Notification]:
+        return self.recorder.select(start=start, limit=limit)
+
+    def max_id(self) -> int:
+        return self.recorder.max_id()
+
+    def counts(self) -> Dict[str, int]:
+        return self.recorder.counts()
+
+    def append_records(self, records: Iterable) -> List[int]:
+        return self.recorder.append(
+            (KIND_RECORD, record.to_dict()) for record in records
+        )
+
+    def append_events(self, events: Iterable) -> List[int]:
+        """Flow typed telemetry events through the notification log."""
+        return self.recorder.append(
+            (KIND_EVENT, event.to_dict()) for event in events
+        )
+
+    def record_snapshot(self, snapshot: CampaignSnapshot) -> int:
+        (nid,) = self.recorder.append([(KIND_SNAPSHOT, snapshot.to_dict())])
+        return nid
+
+    def latest_snapshot(self) -> Optional[CampaignSnapshot]:
+        """The newest persisted snapshot (None when there is none)."""
+        newest: Optional[CampaignSnapshot] = None
+        for notification in self.recorder.select():
+            if notification.kind == KIND_SNAPSHOT:
+                newest = CampaignSnapshot.from_dict(notification.payload)
+        return newest
+
+    def completed_cells(self) -> Tuple[Dict[str, object], int]:
+        """Completed cell keys -> record payloads, plus the resume read size.
+
+        The resume contract: start from the latest snapshot's completed
+        set, then fold only record notifications with ``id >
+        snapshot.covered_id`` — the second element counts how many
+        notifications that tail read actually touched, so tests can
+        assert resume never re-reads the snapshotted prefix.  Failure
+        records (``error`` non-empty) never count as completed: a resumed
+        run re-executes them.
+        """
+        from ..campaign.results import RunRecord  # lazy: avoids a cycle
+        from .snapshot import cell_key
+
+        snapshot = self.latest_snapshot()
+        completed: Dict[str, object] = {}
+        start = 1
+        if snapshot is not None:
+            start = snapshot.covered_id + 1
+            # Payloads for the snapshotted prefix still come from the log
+            # (the snapshot carries keys, not full records) — but the
+            # *tail* scan below is bounded by the snapshot watermark.
+            for notification in self.recorder.select(limit=None):
+                if notification.id > snapshot.covered_id:
+                    break
+                if notification.kind != KIND_RECORD:
+                    continue
+                record = RunRecord.from_dict(notification.payload)
+                if not record.failed:
+                    completed[cell_key(record)] = record
+        tail = self.recorder.select(start=start)
+        for notification in tail:
+            if notification.kind != KIND_RECORD:
+                continue
+            record = RunRecord.from_dict(notification.payload)
+            if not record.failed:
+                completed[cell_key(record)] = record
+        return completed, len(tail)
+
+    def get_projection(
+        self, name: str
+    ) -> Tuple[int, Optional[Dict[str, object]]]:
+        return self.recorder.get_projection(name)
+
+    def set_projection(
+        self, name: str, watermark: int, state: Dict[str, object]
+    ) -> None:
+        self.recorder.set_projection(name, watermark, state)
+
+    def close(self) -> None:
+        self.recorder.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_store(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> CampaignStore:
+    """Open (or create) the campaign store at ``path``.
+
+    ``backend`` forces an adapter (``"jsonl"`` / ``"sqlite"``); when
+    omitted the path is sniffed — a ``.sqlite``/``.db`` suffix or SQLite
+    file magic selects :class:`SqliteRecorder`, anything else (including
+    every legacy ``results/*.jsonl`` file) the wrapping
+    :class:`JsonlRecorder`.
+    """
+    if backend is None:
+        backend = "sqlite" if is_sqlite_path(path) else "jsonl"
+    try:
+        recorder_cls = RECORDER_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {backend!r}; "
+            f"available: {', '.join(RECORDER_BACKENDS)}"
+        ) from None
+    return CampaignStore(recorder_cls(path))
+
+
+def as_campaign_store(store) -> CampaignStore:
+    """Upgrade any store-like argument to a :class:`CampaignStore`.
+
+    Accepts an existing :class:`CampaignStore`, a plain
+    :class:`~repro.campaign.results.ResultsStore` (wrapped on the same
+    path, records preserved), or a path.
+    """
+    if isinstance(store, CampaignStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return open_store(store)
+    path = getattr(store, "path", None)
+    if path is None:
+        raise TypeError(
+            f"cannot upgrade {type(store).__name__} to a CampaignStore"
+        )
+    return open_store(path)
+
+
+__all__ = [
+    "CampaignStore",
+    "RECORDER_BACKENDS",
+    "as_campaign_store",
+    "open_store",
+]

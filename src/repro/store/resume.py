@@ -1,0 +1,171 @@
+"""Snapshot-aware campaign execution: chunked appends, checkpoints, resume.
+
+:func:`execute_with_store` is the one orchestration path between "a list
+of campaign cells" and "records durably in a store".  It appends results
+in cell order in chunks of ``snapshot_every``, records a
+:class:`~repro.store.snapshot.CampaignSnapshot` after each chunk, keeps
+the built-in projections folded up to the log head, and — under
+``resume`` — skips every cell the store already holds a successful record
+for.  Because cells are deterministic and independent, and records are
+always appended in cell order, an interrupted-then-resumed campaign
+produces a byte-identical results file (and equal rollups/reports) to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..telemetry.digest import ResponseDigest
+from .campaign_store import CampaignStore, as_campaign_store
+from .snapshot import CampaignSnapshot, cell_key, cell_spec
+
+#: Default checkpoint cadence (cells per snapshot) for the CLI surface.
+DEFAULT_SNAPSHOT_EVERY = 25
+
+
+@dataclass
+class ExecutionOutcome:
+    """What :func:`execute_with_store` did."""
+
+    #: One record per input cell, in cell order (resumed cells carry the
+    #: previously persisted record).
+    records: List
+    #: Cells skipped because the store already held their record.
+    resumed: int
+    #: Cells actually executed by the backend this call.
+    executed: int
+    #: Snapshots recorded this call.
+    snapshots: int
+
+
+def _merged_digest(records) -> Dict[str, object]:
+    """One digest over the completed records (snapshot payload)."""
+    merged = ResponseDigest()
+    for record in records:
+        if record.response_times_ms:
+            merged.extend(record.response_times_ms)
+        else:
+            digest = record.digest()
+            if digest is not None:
+                merged.merge(digest)
+    return merged.to_dict()
+
+
+def execute_with_store(
+    backend,
+    cells: Sequence,
+    store=None,
+    snapshot_every: int = 0,
+    resume: bool = False,
+    refresh_projections: bool = True,
+) -> ExecutionOutcome:
+    """Run ``cells`` through ``backend`` with durable, resumable persistence.
+
+    ``store`` may be None (no persistence), a plain
+    :class:`~repro.campaign.results.ResultsStore` (legacy single-append
+    path, byte-identical to the pre-store behavior), or anything
+    :func:`~repro.store.campaign_store.as_campaign_store` accepts.
+    Snapshots and resume require a store; asking for them without one is
+    an error rather than a silent no-op.
+    """
+    if snapshot_every < 0:
+        raise ValueError(f"snapshot_every must be >= 0, got {snapshot_every}")
+    cells = list(cells)
+    wants_features = resume or snapshot_every > 0
+    if wants_features and store is None:
+        raise ValueError(
+            "snapshots/resume need a persistent store (pass --out)"
+        )
+
+    campaign_store: Optional[CampaignStore] = None
+    if store is not None and (
+        wants_features or isinstance(store, CampaignStore)
+    ):
+        campaign_store = as_campaign_store(store)
+
+    if campaign_store is None:
+        # Legacy path: one backend call, one append — bit-identical to the
+        # pre-store runner for callers that never asked for durability.
+        records = backend.run(cells)
+        if store is not None:
+            store.extend(records)
+        return ExecutionOutcome(
+            records=records, resumed=0, executed=len(cells), snapshots=0
+        )
+
+    keys = [cell_key(cell) for cell in cells]
+    completed: Dict[str, object] = {}
+    if resume:
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                "cannot resume: the campaign enumerates duplicate cells "
+                "(same scenario/system/sequence/seed/shard); matching "
+                "persisted records to cells would be ambiguous"
+            )
+        completed, _ = campaign_store.completed_cells()
+
+    results: Dict[int, object] = {}
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        if resume and key in completed:
+            results[index] = completed[key]
+        else:
+            pending.append(index)
+    resumed = len(cells) - len(pending)
+
+    chunk_size = snapshot_every if snapshot_every > 0 else len(pending)
+    snapshots = 0
+    for at in range(0, len(pending), max(chunk_size, 1)):
+        chunk = pending[at : at + chunk_size]
+        chunk_records = backend.run([cells[i] for i in chunk])
+        for index, record in zip(chunk, chunk_records):
+            results[index] = record
+        # Records land before the snapshot that covers them: a crash
+        # between the two appends only loses the checkpoint, never work —
+        # resume's tail scan re-derives the uncovered records.
+        campaign_store.append_records(chunk_records)
+        if snapshot_every > 0:
+            done = [i for i in range(len(cells)) if i in results]
+            done_records = [
+                results[i] for i in done if not results[i].failed
+            ]
+            campaign_store.record_snapshot(
+                CampaignSnapshot(
+                    completed=tuple(
+                        keys[i] for i in done if not results[i].failed
+                    ),
+                    digest=_merged_digest(done_records),
+                    cells=tuple(
+                        cell_spec(cells[i])
+                        for i in done
+                        if not results[i].failed
+                    ),
+                    covered_id=campaign_store.max_id(),
+                )
+            )
+            snapshots += 1
+        if refresh_projections:
+            from .projections import update_projections
+
+            update_projections(campaign_store)
+
+    if not pending and refresh_projections:
+        from .projections import update_projections
+
+        update_projections(campaign_store)
+
+    return ExecutionOutcome(
+        records=[results[i] for i in range(len(cells))],
+        resumed=resumed,
+        executed=len(pending),
+        snapshots=snapshots,
+    )
+
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_EVERY",
+    "ExecutionOutcome",
+    "execute_with_store",
+]

@@ -51,12 +51,18 @@ from .events import (
     event_from_dict,
     event_kinds,
 )
-from .sinks import FingerprintSink, JsonlEventLogSink, StreamingAggregationSink
+from .sinks import (
+    FingerprintSink,
+    JsonlEventLogSink,
+    RecorderEventSink,
+    StreamingAggregationSink,
+)
 from .replay import (
     iter_jsonl_payloads,
     load_events,
     read_event_log,
     replay_aggregation,
+    replay_notifications,
     sniff_event_log,
     summarize_event_log,
 )
@@ -77,6 +83,7 @@ __all__ = [
     "N_BUCKETS",
     "PreemptionEvent",
     "QUANTILE_REL_ERROR",
+    "RecorderEventSink",
     "RequestReroutedEvent",
     "RequestShedEvent",
     "ResponseDigest",
@@ -99,6 +106,7 @@ __all__ = [
     "merge_digests",
     "read_event_log",
     "replay_aggregation",
+    "replay_notifications",
     "sniff_event_log",
     "summarize_event_log",
 ]

@@ -79,6 +79,12 @@ def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
         help="candidate kernel to diff against the reference (repeatable; "
              f"default: {' and '.join(DEFAULT_KERNELS)})",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="audit a durable event store instead of sweeping: check "
+             "notification-log shape, snapshot consistency, and that every "
+             "persisted incremental projection equals a full rebuild",
+    )
 
 
 def _check_case(oracle: DifferentialOracle, case: FuzzCase) -> DivergenceReport:
@@ -115,7 +121,32 @@ def _handle_failure(
     return path
 
 
+def _run_store_audit(path: str) -> int:
+    from .oracle import check_store
+
+    if not Path(path).exists():
+        print(f"error: store {path} does not exist", file=sys.stderr)
+        return 2
+    try:
+        findings = check_store(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if findings:
+        print(f"verify: store {path}: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  FAIL {finding}", file=sys.stderr)
+        return 1
+    print(
+        f"verify: store {path}: notification log dense, snapshots "
+        "consistent, all projections equal a full rebuild"
+    )
+    return 0
+
+
 def run_verify_command(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        return _run_store_audit(args.store)
     kernels = tuple(args.kernel) if getattr(args, "kernel", None) else DEFAULT_KERNELS
     bad_kernels = [
         name for name in kernels if name == "reference" or name not in KERNELS

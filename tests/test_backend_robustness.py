@@ -203,7 +203,24 @@ class TestTruncatedTailAccounting:
         from repro.cli import main
 
         store = self._store_with_truncated_tail(tmp_path)
+        # Dropped lines are an exit-code-visible condition (3), not just a
+        # note: automation must not mistake a damaged replay for a clean one.
         with pytest.warns(UserWarning):
-            assert main(["campaign", "replay", str(store.path)]) == 0
+            assert main(["campaign", "replay", str(store.path)]) == 3
         out = capsys.readouterr().out
         assert "1 truncated trailing line(s) skipped" in out
+
+    def test_replay_cli_reports_skipped_lines_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        store = self._store_with_truncated_tail(tmp_path)
+        with pytest.warns(UserWarning):
+            assert main(
+                ["campaign", "replay", str(store.path), "--json"]
+            ) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 1
+        assert payload["skipped_lines"] == 1
+        assert "rendered" in payload

@@ -1,0 +1,574 @@
+"""The durable event store: recorders, snapshots, resume, projections.
+
+The store contract under test, end to end:
+
+* both recorders (JSONL sidecar and SQLite) persist one globally ordered
+  notification log of records, telemetry events and snapshots, and read
+  it back identically after a reopen;
+* ``ResultsStore.extend`` on a brand-new path writes the same header line
+  ``write`` does, so every results file is self-describing (pinned by a
+  byte-level round trip);
+* an interrupted campaign resumed with ``resume=True`` skips the cells
+  the store already holds, re-executes the rest, and ends bit-identical
+  to an uninterrupted run — serial and process backends, both recorders;
+* reports fold as *incremental* projections (only past-watermark
+  notifications are consumed, counted and asserted) and match both a
+  full rebuild and the batch reference implementations exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ProcessBackend,
+    ResultsStore,
+    Scenario,
+    SerialBackend,
+)
+from repro.campaign.results import results_header
+from repro.experiments import Fig5Result, fig6_from_records
+from repro.experiments.fig5 import reductions_from_records
+from repro.fleet import Fleet, get_fleet_scenario
+from repro.metrics.report import summarize_records
+from repro.store import (
+    CampaignSnapshot,
+    CampaignStore,
+    DEFAULT_SNAPSHOT_EVERY,
+    FigureProjection,
+    FleetRollupProjection,
+    JsonlRecorder,
+    KIND_EVENT,
+    KIND_RECORD,
+    KIND_SNAPSHOT,
+    Notification,
+    RecordSummaryProjection,
+    SqliteRecorder,
+    TelemetryCounterProjection,
+    cell_key,
+    execute_with_store,
+    is_sqlite_path,
+    open_store,
+    update_projections,
+    verify_store_projections,
+)
+from repro.telemetry import load_events, replay_aggregation, replay_notifications
+from repro.telemetry.sinks import RecorderEventSink
+from repro.workloads.generator import Condition, WorkloadSpec
+
+BACKENDS = ("jsonl", "sqlite")
+
+
+def _suffix(backend: str) -> str:
+    return "sqlite" if backend == "sqlite" else "jsonl"
+
+
+def _scenario(name: str = "storecase", sequences: int = 2) -> Scenario:
+    return Scenario(
+        name=name,
+        workload=WorkloadSpec(
+            Condition.STRESS, n_apps=3, sequence_count=sequences
+        ),
+        systems=("Baseline", "VersaSlot-OL"),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_records():
+    """(cells, records) of one small deterministic campaign (4 cells)."""
+    cells = CampaignRunner().cells_for(_scenario())
+    return cells, SerialBackend().run(cells)
+
+
+@pytest.fixture(scope="module")
+def event_log(tmp_path_factory):
+    """One cell's telemetry event-log path (typed JSONL stream)."""
+    events_dir = tmp_path_factory.mktemp("events")
+    runner = CampaignRunner(events_dir=events_dir)
+    scenario = Scenario(
+        name="storeevents",
+        workload=WorkloadSpec(Condition.LOOSE, n_apps=2, sequence_count=1),
+        systems=("FCFS",),
+    )
+    runner.run(scenario)
+    (path,) = list(events_dir.glob("*.jsonl"))
+    return path
+
+
+class InterruptingBackend:
+    """Wraps a backend; simulates a crash after ``fail_after`` cells."""
+
+    def __init__(self, inner, fail_after: int) -> None:
+        self.inner = inner
+        self.fail_after = fail_after
+        self.executed = 0
+
+    def run(self, cells):
+        if self.executed >= self.fail_after:
+            raise RuntimeError("simulated crash")
+        self.executed += len(cells)
+        return self.inner.run(cells)
+
+
+class TestRecorders:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_kind_roundtrip_survives_reopen(
+        self, tmp_path, backend, campaign_records
+    ):
+        _, records = campaign_records
+        path = tmp_path / f"log.{_suffix(backend)}"
+        with open_store(path, backend=backend) as store:
+            ids = store.append_records(records[:2])
+            assert ids == [1, 2]
+            store.recorder.append([(KIND_SNAPSHOT, {"schema": 1,
+                                                    "completed": [],
+                                                    "digest": {},
+                                                    "cells": [],
+                                                    "covered_id": 2})])
+            ids = store.append_records(records[2:])
+            assert ids == [4, 5]
+            before = [(n.id, n.kind, n.payload) for n in store.select()]
+        with open_store(path, backend=backend) as store:
+            after = [(n.id, n.kind, n.payload) for n in store.select()]
+            assert after == before
+            assert [n.id for n in store.select()] == [1, 2, 3, 4, 5]
+            assert store.max_id() == 5
+            assert store.counts() == {"record": 4, "snapshot": 1}
+            # select honors (start, limit) over the global order
+            window = store.select(start=2, limit=2)
+            assert [n.id for n in window] == [2, 3]
+            loaded = store.load()
+            assert [r.to_dict() for r in loaded] == \
+                [r.to_dict() for r in records]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_kind_rejected(self, tmp_path, backend):
+        with open_store(tmp_path / f"log.{_suffix(backend)}",
+                        backend=backend) as store:
+            with pytest.raises(ValueError, match="unknown notification kind"):
+                store.recorder.append([("bogus", {})])
+
+    def test_notification_validates_kind(self):
+        with pytest.raises(ValueError):
+            Notification(id=1, kind="bogus", payload={})
+
+    def test_sqlite_sniffing(self, tmp_path):
+        assert is_sqlite_path("results/x.sqlite")
+        assert is_sqlite_path("results/x.db")
+        assert not is_sqlite_path("results/x.jsonl")
+        # no suffix hint: the file magic decides
+        magic = tmp_path / "mystery"
+        magic.write_bytes(b"SQLite format 3\x00" + b"\x00" * 16)
+        assert is_sqlite_path(magic)
+        with pytest.raises(ValueError, match="unknown store backend"):
+            open_store(tmp_path / "x.jsonl", backend="parquet")
+
+    def test_jsonl_recorder_wraps_legacy_results_file(
+        self, tmp_path, campaign_records
+    ):
+        _, records = campaign_records
+        legacy = ResultsStore(tmp_path / "legacy.jsonl")
+        legacy.write(records)
+        with open_store(legacy.path) as store:
+            assert isinstance(store.recorder, JsonlRecorder)
+            assert store.counts() == {"record": len(records)}
+            assert [r.to_dict() for r in store.load()] == \
+                [r.to_dict() for r in records]
+        # the wrap is non-destructive: the plain loader still works and
+        # the results file itself carries no sidecar noise
+        assert [r.to_dict() for r in ResultsStore(legacy.path).load()] == \
+            [r.to_dict() for r in records]
+
+    def test_jsonl_sidecar_heals_out_of_band_appends(
+        self, tmp_path, campaign_records
+    ):
+        _, records = campaign_records
+        path = tmp_path / "healed.jsonl"
+        with open_store(path) as store:
+            store.append_records(records[:2])
+        # a legacy writer appends directly to the results file,
+        # bypassing the sidecar
+        ResultsStore(path).extend(records[2:])
+        with open_store(path) as store:
+            assert store.counts()["record"] == len(records)
+            assert [r.to_dict() for r in store.load()] == \
+                [r.to_dict() for r in records]
+
+
+class TestResultsFileHeader:
+    def test_extend_on_fresh_path_writes_the_same_header_as_write(
+        self, tmp_path, campaign_records
+    ):
+        _, records = campaign_records
+        written = ResultsStore(tmp_path / "written.jsonl")
+        written.write(records)
+        extended = ResultsStore(tmp_path / "extended.jsonl")
+        extended.extend(records)
+        assert written.path.read_bytes() == extended.path.read_bytes()
+        first = json.loads(extended.path.read_text().splitlines()[0])
+        assert first == results_header()
+        assert [r.to_dict() for r in ResultsStore(extended.path).load()] == \
+            [r.to_dict() for r in records]
+
+    def test_appending_to_existing_file_writes_no_second_header(
+        self, tmp_path, campaign_records
+    ):
+        _, records = campaign_records
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.extend(records[:1])
+        store.extend(records[1:])
+        lines = store.path.read_text().splitlines()
+        headers = [ln for ln in lines if json.loads(ln) == results_header()]
+        assert len(headers) == 1
+        assert len(lines) == 1 + len(records)
+
+
+class TestSnapshotsAndResume:
+    def test_snapshot_roundtrip(self):
+        snapshot = CampaignSnapshot(
+            completed=("a|b|seq0|seed1|shard-1",),
+            digest={"count": 3},
+            cells=({"scenario": "a"},),
+            covered_id=7,
+        )
+        assert CampaignSnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_cadence_and_tail_bound(
+        self, tmp_path, backend, campaign_records
+    ):
+        cells, _ = campaign_records
+        path = tmp_path / f"snap.{_suffix(backend)}"
+        with open_store(path, backend=backend) as store:
+            outcome = execute_with_store(
+                SerialBackend(), cells, store=store, snapshot_every=2
+            )
+            assert outcome.snapshots == 2
+            counts = store.counts()
+            assert counts["record"] == len(cells)
+            assert counts["snapshot"] == 2
+            snapshot = store.latest_snapshot()
+            assert len(snapshot.completed) == len(cells)
+            assert set(snapshot.completed) == {cell_key(c) for c in cells}
+            # the newest snapshot is the log head: resume's tail scan
+            # reads only the snapshot notification itself (its id is
+            # covered_id + 1), never the snapshotted record prefix
+            completed, tail = store.completed_cells()
+            assert tail == 1
+            assert len(completed) == len(cells)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_interrupted_then_resumed_is_bit_identical(
+        self, tmp_path, backend, jobs, campaign_records
+    ):
+        cells, clean_records = campaign_records
+        clean_path = tmp_path / f"clean.{_suffix(backend)}"
+        with open_store(clean_path, backend=backend) as store:
+            execute_with_store(
+                SerialBackend(), cells, store=store, snapshot_every=2
+            )
+
+        resumed_path = tmp_path / f"resumed.{_suffix(backend)}"
+        store = open_store(resumed_path, backend=backend)
+        crash = InterruptingBackend(SerialBackend(), fail_after=2)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            execute_with_store(
+                crash, cells, store=store, snapshot_every=2
+            )
+        store.close()
+        assert open_store(resumed_path, backend=backend).counts()["record"] == 2
+
+        resume_backend = (
+            SerialBackend() if jobs == 1 else ProcessBackend(jobs=jobs)
+        )
+        with open_store(resumed_path, backend=backend) as store:
+            outcome = execute_with_store(
+                resume_backend, cells, store=store,
+                snapshot_every=2, resume=True,
+            )
+        assert outcome.resumed == 2
+        assert outcome.executed == 2
+        assert [r.to_dict() for r in outcome.records] == \
+            [r.to_dict() for r in clean_records]
+        if backend == "jsonl":
+            # the results file (records + header) is byte-identical to
+            # the uninterrupted run's
+            assert resumed_path.read_bytes() == clean_path.read_bytes()
+        else:
+            with open_store(resumed_path, backend=backend) as a, \
+                    open_store(clean_path, backend=backend) as b:
+                assert [r.to_dict() for r in a.load()] == \
+                    [r.to_dict() for r in b.load()]
+        # projections converge to the same state on both stores
+        for path in (clean_path, resumed_path):
+            with open_store(path, backend=backend) as store:
+                assert verify_store_projections(store) == []
+
+    def test_resume_skips_everything_on_a_complete_store(
+        self, tmp_path, campaign_records
+    ):
+        cells, _ = campaign_records
+        path = tmp_path / "done.jsonl"
+        runner = CampaignRunner(store=str(path), snapshot_every=2)
+        runner.run_cells(cells)
+        before = path.read_bytes()
+        again = CampaignRunner(store=str(path), resume=True)
+        again.run_cells(cells)
+        assert again.last_outcome.resumed == len(cells)
+        assert again.last_outcome.executed == 0
+        assert path.read_bytes() == before
+
+    def test_resume_reexecutes_failed_cells(self, tmp_path, campaign_records):
+        from repro.campaign import failure_record
+
+        cells, _ = campaign_records
+        path = tmp_path / "failed.sqlite"
+        with open_store(path) as store:
+            store.append_records(
+                [failure_record(cells[0], "worker crashed")]
+            )
+            outcome = execute_with_store(
+                SerialBackend(), cells, store=store, resume=True
+            )
+        assert outcome.resumed == 0
+        assert outcome.executed == len(cells)
+        assert not any(r.failed for r in outcome.records)
+
+    def test_resume_rejects_duplicate_cells(self, tmp_path, campaign_records):
+        cells, _ = campaign_records
+        with open_store(tmp_path / "dup.jsonl") as store:
+            with pytest.raises(ValueError, match="duplicate cells"):
+                execute_with_store(
+                    SerialBackend(), [cells[0], cells[0]],
+                    store=store, resume=True,
+                )
+
+    def test_durability_features_require_a_store(self, campaign_records):
+        cells, _ = campaign_records
+        with pytest.raises(ValueError, match="need a persistent store"):
+            execute_with_store(SerialBackend(), cells, resume=True)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            execute_with_store(SerialBackend(), cells, snapshot_every=-1)
+
+    def test_plain_path_stays_legacy_jsonl(self, tmp_path, campaign_records):
+        # No durability flags -> a path resolves to the plain ResultsStore
+        # (no sidecar files appear next to default campaign output).
+        cells, _ = campaign_records
+        path = tmp_path / "legacy.jsonl"
+        runner = CampaignRunner(store=str(path))
+        assert isinstance(runner.store, ResultsStore)
+        runner.run_cells(cells[:1])
+        assert not (tmp_path / "legacy.jsonl.nlog").exists()
+        # Asking for resume upgrades the same path to the event store.
+        upgraded = CampaignRunner(store=str(path), resume=True)
+        assert isinstance(upgraded.store, CampaignStore)
+
+    def test_default_snapshot_cadence_is_sane(self):
+        assert DEFAULT_SNAPSHOT_EVERY >= 1
+
+
+class TestProjections:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_incremental_fold_consumes_only_the_tail(
+        self, tmp_path, backend, campaign_records
+    ):
+        _, records = campaign_records
+        path = tmp_path / f"proj.{_suffix(backend)}"
+        with open_store(path, backend=backend) as store:
+            store.append_records(records[:3])
+            first = RecordSummaryProjection().load(store)
+            assert first.apply(store) == 3
+            assert first.watermark == 3
+
+            store.append_records(records[3:])
+            second = RecordSummaryProjection().load(store)
+            assert second.watermark == 3  # persisted state restored
+            folded = second.apply(store)
+            assert folded == len(records) - 3  # tail only, never the prefix
+            assert second.last_fold_count == folded
+
+            rebuilt = RecordSummaryProjection()
+            rebuilt.rebuild(store)
+            assert second.state_dict() == rebuilt.state_dict()
+            assert second.render() == rebuilt.render()
+            assert verify_store_projections(store) == []
+
+    def test_summary_projection_matches_batch_renderer(self, campaign_records):
+        _, records = campaign_records
+        projection = RecordSummaryProjection()
+        for record in records:
+            projection.fold_record(record)
+        assert projection.render() == summarize_records(records)
+
+    def test_summary_projection_state_survives_json(self, campaign_records):
+        _, records = campaign_records
+        projection = RecordSummaryProjection()
+        for record in records:
+            projection.fold_record(record)
+        state = json.loads(json.dumps(projection.state_dict()))
+        restored = RecordSummaryProjection()
+        restored.restore_state(state)
+        assert restored.render() == projection.render()
+
+    def test_figure_projection_matches_batch_figures(self, campaign_records):
+        _, records = campaign_records
+        projection = FigureProjection()
+        for record in records:
+            projection.fold_record(record)
+        assert projection.render_fig5() == \
+            Fig5Result.from_records(records).reductions
+        assert projection.render_fig6() == \
+            fig6_from_records(records).relative_tails
+
+    def test_figure_projection_matches_batch_error_paths(
+        self, campaign_records
+    ):
+        _, records = campaign_records
+        no_baseline = [r for r in records if r.system != "Baseline"]
+        projection = FigureProjection()
+        for record in no_baseline:
+            projection.fold_record(record)
+        with pytest.raises(KeyError) as from_projection:
+            projection.render_fig5()
+        with pytest.raises(KeyError) as from_batch:
+            reductions_from_records(no_baseline)
+        assert str(from_projection.value) == str(from_batch.value)
+
+    def test_fleet_rollup_projection_matches_fleet_run(self, tmp_path):
+        scenario = get_fleet_scenario("fleet-smoke")
+        path = tmp_path / "fleet.sqlite"
+        result = Fleet(scenario).run(store=str(path), snapshot_every=1)
+        with open_store(path) as store:
+            assert verify_store_projections(store) == []
+            projection = FleetRollupProjection()
+            projection.rebuild(store)
+            per_shard, overall = projection.render_rollups()
+        assert per_shard == result.rollup.per_shard
+        assert overall == result.rollup.overall
+
+    def test_telemetry_projection_matches_jsonl_replay(
+        self, tmp_path, event_log
+    ):
+        events = load_events(event_log)
+        assert events
+        path = tmp_path / "events.sqlite"
+        with open_store(path) as store:
+            sink = RecorderEventSink(store, batch_size=16)
+            for event in events:
+                sink.handle(event)
+            sink.close()
+            assert sink.events_written == len(events)
+            assert store.counts() == {"event": len(events)}
+
+            projection = TelemetryCounterProjection()
+            projection.rebuild(store)
+            _, reference = replay_aggregation(event_log)
+            assert projection.counters() == reference.counters()
+            assert projection.digest.to_dict() == reference.digest.to_dict()
+            # the replay helper folds the same stream off the store
+            replayed = replay_notifications(store)
+            assert replayed.counters() == reference.counters()
+
+    def test_update_projections_reports_folded_counts(
+        self, tmp_path, campaign_records
+    ):
+        _, records = campaign_records
+        with open_store(tmp_path / "u.jsonl") as store:
+            store.append_records(records)
+            folded = update_projections(store)
+            assert set(folded) == {
+                "summary", "fleet-rollup", "figures", "telemetry"
+            }
+            assert all(n == len(records) for n in folded.values())
+            # idempotent: a second pass folds nothing
+            assert all(
+                n == 0 for n in update_projections(store).values()
+            )
+
+
+class TestStoreCli:
+    def _build_store(self, tmp_path, records, backend="sqlite"):
+        path = tmp_path / f"cli.{_suffix(backend)}"
+        with open_store(path, backend=backend) as store:
+            store.append_records(records)
+            update_projections(store)
+        return path
+
+    def test_inspect_json(self, tmp_path, capsys, campaign_records):
+        from repro.cli import main
+
+        _, records = campaign_records
+        path = self._build_store(tmp_path, records)
+        assert main(["store", "inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"record": len(records)}
+        assert payload["projections"]["summary"] == len(records)
+
+    def test_verify_clean_and_corrupted(self, tmp_path, capsys,
+                                        campaign_records):
+        from repro.cli import main
+
+        _, records = campaign_records
+        path = self._build_store(tmp_path, records)
+        assert main(["store", "verify", str(path)]) == 0
+        assert main(["verify", "--store", str(path)]) == 0
+        # a stale projection (right watermark, wrong state) must be caught
+        with open_store(path) as store:
+            store.set_projection(
+                "summary", store.max_id(),
+                RecordSummaryProjection().state_dict(),
+            )
+        assert main(["store", "verify", str(path)]) == 1
+        assert "summary" in capsys.readouterr().err
+
+    def test_export_converts_between_backends(self, tmp_path, capsys,
+                                              campaign_records):
+        from repro.cli import main
+
+        _, records = campaign_records
+        source = self._build_store(tmp_path, records, backend="jsonl")
+        dest = tmp_path / "converted.sqlite"
+        assert main(["store", "export", str(source), str(dest)]) == 0
+        with open_store(dest) as store:
+            assert isinstance(store.recorder, SqliteRecorder)
+            assert [r.to_dict() for r in store.load()] == \
+                [r.to_dict() for r in records]
+            assert verify_store_projections(store) == []
+
+    def test_ingest_events(self, tmp_path, capsys, event_log):
+        from repro.cli import main
+
+        path = tmp_path / "ingest.sqlite"
+        with open_store(path):
+            pass
+        assert main(["store", "ingest", str(path), str(event_log)]) == 0
+        with open_store(path) as store:
+            assert store.counts()["event"] == len(load_events(event_log))
+
+    def test_replay_reads_sqlite_stores(self, tmp_path, capsys,
+                                        campaign_records):
+        from repro.cli import main
+
+        _, records = campaign_records
+        path = self._build_store(tmp_path, records)
+        assert main(["replay", str(path)]) == 0
+        assert "Campaign records" in capsys.readouterr().out
+        assert main(["replay", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == len(records)
+        assert payload["skipped_lines"] == 0
+
+    def test_replay_missing_store_is_operator_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", str(tmp_path / "absent.sqlite")]) == 2
+        assert main(["store", "inspect", str(tmp_path / "nope.sqlite")]) == 2
+
+
+class TestEventNotificationKinds:
+    def test_kind_constants_are_the_wire_values(self):
+        assert KIND_RECORD == "record"
+        assert KIND_EVENT == "event"
+        assert KIND_SNAPSHOT == "snapshot"
