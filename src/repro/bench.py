@@ -209,14 +209,17 @@ def _bench_scheduler_single_app() -> int:
     from .config import DEFAULT_PARAMETERS
     from .core import VersaSlotBigLittle
     from .fpga import BoardConfig, FPGABoard
-    from .sim import Engine
+    from .sim import DEFAULT_ENGINE
 
     reset_instance_ids()
     spec = BENCHMARKS["IC"]
     batch = 100
-    engine = Engine()
+    engine = DEFAULT_ENGINE()
     board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
     scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+    # Production memory config: campaigns aggregate digests online and
+    # never retain per-request records (see ``execute_cell``).
+    scheduler.stats.retain_responses = False
     scheduler.submit(ApplicationInstance(spec, batch, 0.0))
     engine.run(until=50_000_000)
     assert scheduler.stats.completions == 1
@@ -240,15 +243,16 @@ def _bench_scheduler_telemetry() -> int:
     from .config import DEFAULT_PARAMETERS
     from .core import VersaSlotBigLittle
     from .fpga import BoardConfig, FPGABoard
-    from .sim import Engine
+    from .sim import DEFAULT_ENGINE
     from .telemetry import StreamingAggregationSink, TelemetryBus
 
     reset_instance_ids()
     spec = BENCHMARKS["IC"]
     batch = 100
-    engine = Engine()
+    engine = DEFAULT_ENGINE()
     board = FPGABoard(engine, BoardConfig.BIG_LITTLE, DEFAULT_PARAMETERS)
     scheduler = VersaSlotBigLittle(board, DEFAULT_PARAMETERS)
+    scheduler.stats.retain_responses = False
     bus = TelemetryBus()
     sink = StreamingAggregationSink(kinds=("completion",))
     bus.attach(sink)
@@ -262,15 +266,21 @@ def _bench_scheduler_telemetry() -> int:
 
 
 def _bench_scheduler_stress_sequence() -> int:
-    """A full stress sequence (8 apps) through VersaSlot Big.Little."""
+    """A full stress sequence (8 apps) through VersaSlot Big.Little.
+
+    Runs the production digest-only telemetry config (``digest_only``):
+    what campaigns actually ship, not the exact-sample debug retention.
+    """
+    from .apps import BENCHMARKS
     from .experiments.runner import run_sequence
     from .workloads import Condition, WorkloadGenerator
 
     arrivals = WorkloadGenerator(7).sequence(Condition.STRESS, n_apps=8)
-    result = run_sequence("VersaSlot-BL", arrivals)
+    result = run_sequence("VersaSlot-BL", arrivals, digest_only=True)
     assert result.stats.completions == len(arrivals)
-    return sum(inst.batch_size * inst.spec.task_count
-               for inst in (r.inst for r in result.stats.responses))
+    assert result.responses.count == len(arrivals)
+    return sum(BENCHMARKS[a.app_name].task_count * a.batch_size
+               for a in arrivals)
 
 
 def _bench_fig5_micro() -> int:
@@ -279,6 +289,80 @@ def _bench_fig5_micro() -> int:
 
     result = run_fig5(seed=1, sequence_count=1, n_apps=6)
     return len(result.reductions) * 6
+
+
+def _kernel_name(engine_factory) -> str:
+    """Registry name of a compare-gate engine factory.
+
+    The campaign/fleet layers select kernels by registry name (cells must
+    stay picklable), while the compare gate hands payloads a factory — so
+    the full-run payloads map the factory back to its name.
+    """
+    if engine_factory is None:
+        return "default"
+    from .sim import Engine, WheelEngine
+    from .verify.reference import ReferenceEngine
+
+    if engine_factory is WheelEngine:
+        return "wheel"
+    if engine_factory is Engine:
+        return "heap"
+    if engine_factory is ReferenceEngine:
+        return "reference"
+    raise KeyError(f"no registered kernel name for {engine_factory!r}")
+
+
+def _bench_campaign_cell_overhead(engine_factory=None) -> int:
+    """Twelve short same-spec cells through the serial campaign backend.
+
+    The cells share one :class:`WorkloadSpec` across seeds, sequence
+    indices, and systems, so the measurement is dominated by the fixed
+    per-cell costs campaigns pay at scale: arrival-sequence
+    materialization (served from the worker-resident sequence cache after
+    the first cell per ``(spec, seed, index)``), board/scheduler
+    construction, and digest-only record assembly.
+    """
+    from .campaign.backend import CampaignCell, SerialBackend
+    from .config import DEFAULT_PARAMETERS
+    from .workloads import Condition, WorkloadSpec
+
+    kernel = _kernel_name(engine_factory)
+    workload = WorkloadSpec(condition=Condition.LOOSE, n_apps=2, sequence_count=2)
+    cells = [
+        CampaignCell(
+            scenario="bench-cell-overhead",
+            system=system,
+            sequence_index=index,
+            seed=seed,
+            params=DEFAULT_PARAMETERS,
+            workload=workload,
+            kernel=kernel,
+        )
+        for seed in (0, 1, 2)
+        for index in (0, 1)
+        for system in ("Baseline", "VersaSlot-BL")
+    ]
+    records = SerialBackend().run(cells)
+    assert len(records) == len(cells)
+    assert not any(record.failed for record in records)
+    return len(records)
+
+
+def _bench_fleet_short_cells(engine_factory=None) -> int:
+    """A small fleet deployment end-to-end through the orchestrator.
+
+    Shrinks the smoke fleet to short shard cells so routing, dispatch
+    planning, and record rollup — the fleet layer's own overhead — stay
+    visible next to the simulation itself.
+    """
+    from .fleet import Fleet, get_fleet_scenario
+
+    kernel = _kernel_name(engine_factory)
+    scenario = get_fleet_scenario("fleet-smoke").scaled(n_apps=4, seeds=(0, 1))
+    result = Fleet(scenario).run(jobs=1, kernel=kernel)
+    assert len(result.records) == scenario.cell_count()
+    assert not any(record.failed for record in result.records)
+    return scenario.cell_count()
 
 
 def _on_wheel(payload: Callable[..., int]) -> Callable[[], int]:
@@ -313,6 +397,8 @@ BENCHES: Tuple[BenchSpec, ...] = (
               _on_wheel(_bench_deep_pending), iters=4),
     BenchSpec("scheduler_run_telemetry", "items", _bench_scheduler_telemetry, iters=4),
     BenchSpec("scheduler_stress_sequence", "items", _bench_scheduler_stress_sequence),
+    BenchSpec("campaign_cell_overhead", "cells", _bench_campaign_cell_overhead, iters=2),
+    BenchSpec("fleet_short_cells", "cells", _bench_fleet_short_cells),
     BenchSpec("fig5_micro", "runs", _bench_fig5_micro, quick=False),
 )
 
@@ -323,6 +409,8 @@ COMPARE_BENCHES: Tuple[Tuple[str, Callable[..., int]], ...] = (
     ("kernel_resource_contention", _bench_resource_contention),
     ("kernel_condition_fanout", _bench_condition_fanout),
     ("kernel_deep_pending", _bench_deep_pending),
+    ("campaign_cell_overhead", _bench_campaign_cell_overhead),
+    ("fleet_short_cells", _bench_fleet_short_cells),
 )
 
 #: Minimum candidate/base throughput ratio per compare bench.  The wheel
@@ -335,6 +423,13 @@ COMPARE_FLOORS: Dict[str, float] = {
     "kernel_event_throughput": 1.05,
     "kernel_timeout_alloc": 0.90,
     "kernel_deep_pending": 0.90,
+    # Full-run payloads: the kernel is one cost among many (scheduler,
+    # campaign bookkeeping), so the true ratio sits near 1.0 and the
+    # per-round noise floor is wider than on the kernel micro-benches —
+    # the floor only excludes a kernel change that drags whole campaign
+    # cells down, not runner jitter.
+    "campaign_cell_overhead": 0.85,
+    "fleet_short_cells": 0.85,
 }
 DEFAULT_COMPARE_FLOOR = 0.80
 
@@ -452,6 +547,74 @@ def run_benches(
     return results
 
 
+#: Hotspot lines printed per payload in ``--profile`` mode (the written
+#: report keeps the full sorted listing).
+PROFILE_TOP = 25
+
+
+def run_profile(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    out_dir: str = "results",
+    top: int = PROFILE_TOP,
+) -> List[Tuple[str, Path, str]]:
+    """Profile the selected payloads with :mod:`cProfile`.
+
+    One warm-up call (imports, allocator, branch caches) precedes one
+    profiled call per payload — deterministic workloads make a single
+    instrumented pass representative, and instrumentation overhead makes
+    the *timings* advisory anyway: profiles are for finding where the
+    cycles go, the bench rounds are for measuring them.  Each payload's
+    full cumulative-sorted listing is written to
+    ``<out_dir>/profile_<name>.txt``; returns ``(name, path, top_text)``
+    triples where ``top_text`` is the first ``top`` hotspot lines.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if names is not None:
+        unknown = set(names) - {spec.name for spec in BENCHES}
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"available: {[spec.name for spec in BENCHES]}"
+            )
+        selected = [spec for spec in BENCHES if spec.name in names]
+    else:
+        selected = [spec for spec in BENCHES if not quick or spec.quick]
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    reports = []
+    for spec in selected:
+        spec.payload()  # warm-up
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            spec.payload()
+        finally:
+            profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats()
+        full = stream.getvalue()
+        path = out_path / f"profile_{spec.name}.txt"
+        path.write_text(full)
+        lines = full.splitlines()
+        try:
+            # The column-title row starts the entry listing; keep ``top``
+            # rows of hotspots after it for the terminal summary.
+            header = next(
+                i for i, line in enumerate(lines)
+                if line.lstrip().startswith("ncalls")
+            )
+            head = lines[header:header + 1 + top]
+        except StopIteration:
+            head = lines[:top]
+        reports.append((spec.name, path, "\n".join(head)))
+    return reports
+
+
 @dataclass(frozen=True)
 class CompareResult:
     """One kernel-vs-kernel measurement of a compare bench."""
@@ -462,6 +625,9 @@ class CompareResult:
     candidate_throughput: float
     base_throughput: float
     floor: float
+    #: Paired rounds both sides were measured at (recorded so a gate
+    #: report is never silently compared across different round counts).
+    rounds: int = 0
 
     @property
     def ratio(self) -> float:
@@ -511,6 +677,7 @@ def run_compare(
             candidate_throughput=units / best[candidate],
             base_throughput=units / best[base],
             floor=COMPARE_FLOORS.get(name, DEFAULT_COMPARE_FLOOR),
+            rounds=n_rounds,
         ))
     return results
 
@@ -519,6 +686,10 @@ def format_compare_table(results: Sequence[CompareResult]) -> str:
     lines = []
     if results:
         candidate, base = results[0].candidate, results[0].base
+        lines.append(
+            f"paired compare ({results[0].rounds} rounds, best-of): "
+            f"{candidate} vs {base}"
+        )
         lines.append(
             f"{'benchmark':<28s} {base:>14s} {candidate:>14s} "
             f"{'ratio':>8s} {'floor':>7s}"
@@ -568,6 +739,33 @@ def append_entry(path: Path, entry: Dict[str, object]) -> Dict[str, object]:
 def latest_entry(data: Dict[str, object]) -> Optional[Dict[str, object]]:
     history = data.get("history") or []
     return history[-1] if history else None
+
+
+def rounds_mismatches(
+    results: Sequence[BenchResult],
+    baseline: Dict[str, object],
+) -> List[str]:
+    """Benchmarks measured at a different round count than the baseline.
+
+    ``best_s`` tightens with the number of rounds (more chances at a
+    clean window), so gating a 2-round quick run against a 12-round
+    entry — or vice versa — compares noise profiles, not code.  The
+    caller refuses the comparison instead of gating on it.
+    """
+    mismatches = []
+    base_results: Dict[str, Dict] = baseline.get("results", {})  # type: ignore[assignment]
+    for result in results:
+        base = base_results.get(result.name)
+        if not base:
+            continue
+        base_rounds = base.get("rounds")
+        if base_rounds is not None and int(base_rounds) != result.rounds:
+            mismatches.append(
+                f"{result.name}: measured at {result.rounds} rounds but the "
+                f"baseline entry was recorded at {base_rounds}; rerun with "
+                f"--rounds {base_rounds} (or re-pin the baseline)"
+            )
+    return mismatches
 
 
 def compare_to_baseline(
@@ -638,6 +836,14 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: 0.30)")
     parser.add_argument("--note", type=str, default="",
                         help="free-form label stored with the trajectory entry")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the selected payloads instead of timing "
+                             "them: prints the top hotspots and writes the "
+                             "full listing to results/profile_<name>.txt")
+    parser.add_argument("--profile-dir", type=str, default="results",
+                        metavar="DIR",
+                        help="directory --profile reports are written under "
+                             "(default: results)")
     parser.add_argument("--compare", type=str, default=None,
                         metavar="CANDIDATE,BASE",
                         help="run the kernel benches on two backends (e.g. "
@@ -653,6 +859,22 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        # Profiling answers "where do the cycles go", not "how fast is
+        # it" — it neither reads nor writes the trajectory.
+        try:
+            reports = run_profile(
+                names=args.only, quick=args.quick, out_dir=args.profile_dir
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        for name, path, top_text in reports:
+            print(f"== {name} (full listing: {path})")
+            print(top_text)
+            print()
+        print(f"profiled {len(reports)} payload(s) under {args.profile_dir}/")
+        return 0
     if args.compare is not None:
         # Compare mode is a standalone gate: it measures ratios, not
         # absolute throughputs, so it neither reads nor writes the
@@ -699,6 +921,15 @@ def run_bench_command(args: argparse.Namespace) -> int:
             print(f"error: {args.baseline} has no history entries", file=sys.stderr)
             return 2
     print(format_table(results, baseline_entry))
+    if baseline_entry is not None:
+        # Refuse before recording: an off-protocol measurement would
+        # pollute the trajectory with entries no later gate can use.
+        mismatches = rounds_mismatches(results, baseline_entry)
+        if mismatches:
+            print("error: round-count mismatch vs baseline:", file=sys.stderr)
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=sys.stderr)
+            return 2
     if not args.no_write:
         entry = make_entry(results, note=args.note, quick=args.quick)
         data = append_entry(Path(args.out), entry)

@@ -23,7 +23,7 @@ from ..apps.application import reset_instance_ids
 from ..config import DEFAULT_PARAMETERS, SystemParameters
 from ..fpga.board import FPGABoard
 from ..schedulers.base import SchedulerStats
-from ..sim import Engine, Tracer
+from ..sim import DEFAULT_ENGINE, Engine, Tracer
 from ..telemetry import (
     JsonlEventLogSink,
     StreamingAggregationSink,
@@ -110,15 +110,17 @@ def simulate_run(
     """Simulate ``system`` serving ``arrivals`` on a fresh board.
 
     ``engine_factory`` swaps the simulation kernel (the verify layer runs
-    the same cell on the optimized and the reference kernel); ``tracer``,
-    ``telemetry`` and ``instruments`` attach observability before the
-    workload starts.  Attach every sink to the bus before passing it in:
-    slot observation is only installed when a sink wants slot events.
+    the same cell on the optimized and the reference kernel); when omitted
+    the production default (:data:`repro.sim.DEFAULT_ENGINE`, the timing
+    wheel) is used.  ``tracer``, ``telemetry`` and ``instruments`` attach
+    observability before the workload starts.  Attach every sink to the
+    bus before passing it in: slot observation is only installed when a
+    sink wants slot events.
     """
     spec = get_system(system)
     resolved = params if params is not None else DEFAULT_PARAMETERS
     reset_instance_ids()
-    engine = engine_factory() if engine_factory is not None else Engine()
+    engine = engine_factory() if engine_factory is not None else DEFAULT_ENGINE()
     board = FPGABoard(engine, spec.board_config, resolved, name="eval")
     if tracer is not None:
         # Keyword, not positional: OnBoardScheduler subclasses registered
@@ -149,6 +151,15 @@ def simulate_run(
     )
 
 
+#: Worker-resident cache of regenerated arrival sequences, keyed by the
+#: deterministic (workload spec, seed, sequence index) value.  Arrivals
+#: are frozen, so sharing one tuple across cells cannot leak state
+#: between runs; the cap bounds memory on unbounded fuzz sweeps (cleared
+#: wholesale — the cache is an amortization, not a correctness feature).
+_SEQUENCE_CACHE: Dict[Tuple[object, int, int], Tuple[Arrival, ...]] = {}
+_SEQUENCE_CACHE_MAX = 256
+
+
 @dataclass(frozen=True)
 class CampaignCell:
     """One independently simulatable (system × sequence × seed) unit.
@@ -167,9 +178,10 @@ class CampaignCell:
     workload: Optional[WorkloadSpec] = None
     arrivals: Optional[Tuple[Arrival, ...]] = None
     horizon_ms: float = DEFAULT_HORIZON_MS
-    #: Simulation kernel to run on ("optimized" or "reference"); the
-    #: verify layer runs the same cell on both and diffs the outcomes.
-    kernel: str = "optimized"
+    #: Simulation kernel to run on (a ``repro.verify.reference.KERNELS``
+    #: name); "default" is the production wheel kernel, and the verify
+    #: layer runs the same cell on several kernels and diffs the outcomes.
+    kernel: str = "default"
     #: Fleet shard index this cell simulates; -1 for non-fleet cells.
     shard: int = -1
     #: Condition label for explicit-arrival cells (a cell regenerating
@@ -184,7 +196,7 @@ class CampaignCell:
 
     def engine_factory(self) -> Optional[Callable[[], Engine]]:
         """Engine factory for this cell's kernel (None = default kernel)."""
-        if self.kernel == "optimized":
+        if self.kernel == "default":
             return None
         from ..verify.reference import resolve_kernel  # lazy: avoids a cycle
 
@@ -198,7 +210,20 @@ class CampaignCell:
                 f"cell {self.scenario}/{self.system} has neither a workload "
                 "spec nor explicit arrivals"
             )
-        return self.workload.sequence(self.seed, self.sequence_index)
+        # Worker-resident reuse: every system evaluated over the same
+        # (spec, seed, index) cell replays the identical sequence, so the
+        # regeneration cost is paid once per worker, not once per cell.
+        # The key is the frozen spec's *value* (dataclass equality over
+        # condition/n_apps/batch_range/apps), never object identity —
+        # id() would silently miss across pickled worker boundaries.
+        key = (self.workload, self.seed, self.sequence_index)
+        cached = _SEQUENCE_CACHE.get(key)
+        if cached is None:
+            if len(_SEQUENCE_CACHE) >= _SEQUENCE_CACHE_MAX:
+                _SEQUENCE_CACHE.clear()
+            cached = tuple(self.workload.sequence(self.seed, self.sequence_index))
+            _SEQUENCE_CACHE[key] = cached
+        return list(cached)
 
 
 def execute_cell(cell: CampaignCell) -> RunRecord:

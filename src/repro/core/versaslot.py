@@ -103,7 +103,9 @@ class VersaSlotBigLittle(OnBoardScheduler):
     # Algorithm 2: online bundling decision and dispatch ordering
     # ------------------------------------------------------------------
     def choose_serial_bundle(self, app_run: AppRun, bundle: BundleSpec) -> bool:
-        times = app_run.spec.bundle_exec_times(bundle)
+        # Dispatch only ever hands us bundles from this spec (validated at
+        # construction), so index the frozen time table directly.
+        times = app_run.spec._bundle_times[bundle.index]
         return serial_preferred(times, app_run.batch)
 
     def dispatch_order(self):

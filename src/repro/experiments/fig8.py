@@ -30,7 +30,7 @@ from ..core.versaslot import make_versaslot
 from ..fpga.slots import BoardConfig
 from ..metrics.report import format_series, sparkline
 from ..metrics.response import ResponseStats
-from ..sim import Engine
+from ..sim import DEFAULT_ENGINE
 from ..workloads.generator import Arrival, Condition, drive
 from .runner import RUN_HORIZON_MS, record_to_run_result
 
@@ -117,7 +117,7 @@ def run_cluster(
     if params is None:
         params = DEFAULT_PARAMETERS
     reset_instance_ids()
-    engine = Engine()
+    engine = DEFAULT_ENGINE()
     cluster = FPGACluster(
         engine,
         scheduler_factory=lambda board, p, tracer: make_versaslot(board, p, tracer),

@@ -104,8 +104,42 @@ def run_sequence(
     system: str,
     arrivals: Sequence[Arrival],
     params: Optional[SystemParameters] = None,
+    digest_only: bool = False,
 ) -> RunResult:
-    """Simulate ``system`` serving ``arrivals`` on a fresh board."""
+    """Simulate ``system`` serving ``arrivals`` on a fresh board.
+
+    ``digest_only`` runs the production campaign-cell telemetry config —
+    a completion-only streaming sink building the response digest online,
+    no retained per-request records — so memory is O(1) in the number of
+    requests and ``responses`` is a bounded-error digest.  The default
+    keeps exact per-sample :class:`ResponseStats` (the goldens and the
+    round-trip tests pin that representation).
+    """
+    if digest_only:
+        from ..telemetry import StreamingAggregationSink, TelemetryBus
+
+        def configure_retention(engine, board, scheduler) -> None:
+            scheduler.stats.retain_responses = False
+
+        bus = TelemetryBus()
+        sink = StreamingAggregationSink(kinds=("completion",))
+        bus.attach(sink)
+        try:
+            outcome = simulate_run(
+                system,
+                arrivals,
+                params,
+                instruments=(configure_retention,),
+                telemetry=bus,
+            )
+        finally:
+            bus.close()
+        return RunResult(
+            system=system,
+            responses=sink.digest,
+            stats=outcome.stats,
+            makespan_ms=outcome.makespan_ms,
+        )
     outcome = simulate_run(system, arrivals, params)
     responses = ResponseStats()
     responses.extend(outcome.stats.response_times_ms())

@@ -402,7 +402,7 @@ class Fleet:
 
     def cells(
         self,
-        kernel: str = "optimized",
+        kernel: str = "default",
         plans: Optional[Dict[int, List[List[Arrival]]]] = None,
         keep_raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
@@ -443,7 +443,7 @@ class Fleet:
         self,
         jobs: int = 1,
         store: Optional[Union[ResultsStore, str, Path]] = None,
-        kernel: str = "optimized",
+        kernel: str = "default",
         keep_raw_samples: bool = False,
         events_dir: Optional[Union[str, Path]] = None,
         timeout_s: Optional[float] = None,

@@ -310,14 +310,29 @@ class OnBoardScheduler:
         """
         if not self.c_wait:
             return
-        if self.board.idle_slot(SlotKind.LITTLE) is not None:
-            return
+        # Guard order is cheapest-first (all three are pure checks): the
+        # quantum comparison costs two attribute reads, the idle-slot
+        # probe walks the Little slots.
         if self.engine.now - self._last_preempt_ms < self.preemption_quantum_ms:
             return
-        candidates = [app for app in self.s_little if app.used_little > 1]
-        if not candidates:
+        if self.board.idle_slot(SlotKind.LITTLE) is not None:
             return
-        victim_app = max(candidates, key=lambda app: (app.used_little, app.inst.app_id))
+        # max() over (used_little, app_id) without the tuple-key lambda;
+        # this runs on every contended pass.
+        victim_app = None
+        best_used = 2  # only apps holding more than one Little slot
+        best_id = -1
+        for app in self.s_little:
+            used = app.used_little
+            if used < best_used:
+                continue
+            app_id = app.inst.app_id
+            if used > best_used or app_id > best_id:
+                victim_app = app
+                best_used = used
+                best_id = app_id
+        if victim_app is None:
+            return
         runs = [
             run
             for run in victim_app.loaded.values()
@@ -325,7 +340,10 @@ class OnBoardScheduler:
         ]
         if len(runs) < 2:
             return
-        victim_run = max(runs, key=lambda run: run.task.index)
+        victim_run = runs[0]
+        for run in runs:
+            if run.task.index > victim_run.task.index:
+                victim_run = run
         victim_run.request_preempt()
         self._last_preempt_ms = self.engine.now
         self.tracer.emit(
@@ -349,8 +367,9 @@ class OnBoardScheduler:
 
     def _pass(self) -> Generator:
         core = self._core
-        request = core.acquire()
-        yield request
+        request = core.try_acquire()
+        if request is not None:
+            yield request
         yield self._action_ms
         core.release()
         self.maybe_preempt()
@@ -367,8 +386,9 @@ class OnBoardScheduler:
     def _inline_pr(self, plan: PRPlan) -> Generator:
         """Single-core PR: the scheduler core is suspended during the load."""
         core = self._core
-        request = core.acquire()
-        yield request
+        request = core.try_acquire()
+        if request is not None:
+            yield request
         self._pr_inflight += 1
         self._inflight_app = plan.app_run
         try:
@@ -384,8 +404,9 @@ class OnBoardScheduler:
         core = self.board.ps.pr_core(dual_core=True)
         while True:
             plan = yield self.pr_queue.get()
-            request = core.acquire()
-            yield request
+            request = core.try_acquire()
+            if request is not None:
+                yield request
             self._pr_inflight += 1
             self._inflight_app = plan.app_run
             try:
@@ -432,21 +453,23 @@ class OnBoardScheduler:
     def _plan_for_kind(self, app: AppRun, kind: SlotKind) -> List[PRPlan]:
         plans: List[PRPlan] = []
         while True:
+            # Only the head of the eligibility order is ever dispatched,
+            # so probe it directly instead of materializing the list.
             if kind is SlotKind.BIG:
                 if app.used_big >= app.alloc_big:
                     break
-                payloads: List[Payload] = list(app.next_big_payloads())
+                payload: Optional[Payload] = app.first_big_payload()
             else:
                 if app.used_little >= app.alloc_little:
                     self._rotate_for_reload(app)
                     break
-                payloads = list(app.next_little_payloads())
-            if not payloads:
+                payload = app.first_little_payload()
+            if payload is None:
                 break
             slot = self.board.idle_slot(kind)
             if slot is None:
                 break
-            plans.append(self._make_plan(app, payloads[0], slot))
+            plans.append(self._make_plan(app, payload, slot))
         return plans
 
     def _rotate_for_reload(self, app: AppRun) -> None:
@@ -458,16 +481,19 @@ class OnBoardScheduler:
         run makes room; the dispatch guard then reloads the missing stage
         first.  Without this, the app livelocks until the board drains.
         """
-        runs = [run for run in app.loaded.values() if isinstance(run, TaskRun)]
+        loaded = app.loaded
+        if not loaded:
+            return
+        runs = [run for run in loaded.values() if isinstance(run, TaskRun)]
         if not runs:
             return
         if any(run.preempt_requested for run in runs):
             return  # a rotation is already in flight
-        payloads = app.next_little_payloads()
-        if not payloads:
+        head = app.first_little_payload()
+        if head is None:
             return
         highest = max(runs, key=lambda run: run.task.index)
-        if highest.task.index > payloads[0].index:
+        if highest.task.index > head.index:
             highest.request_preempt()
 
     def _make_plan(self, app: AppRun, payload: Payload, slot: Slot) -> PRPlan:
@@ -531,16 +557,22 @@ class OnBoardScheduler:
         """
         engine = self.engine
         core = self._core
-        started = engine.now
-        pr_busy = (
-            self._inflight_app is not None and self._inflight_app is not app_run
-        )
-        if not pr_busy and self.pr_queue._items:
-            # Iterate the live deque: ``items()`` would copy it per launch.
-            pr_busy = any(q.app_run is not app_run for q in self.pr_queue._items)
-        request = core.acquire()
-        yield request
-        wait = engine.now - started
+        request = core.try_acquire()
+        if request is None:
+            # Uncontended: granted in place, zero wait — skip the PR-busy
+            # scan entirely (blocking needs a nonzero wait to count).
+            wait = 0.0
+            pr_busy = False
+        else:
+            started = engine.now
+            pr_busy = (
+                self._inflight_app is not None and self._inflight_app is not app_run
+            )
+            if not pr_busy and self.pr_queue._items:
+                # Iterate the live deque: ``items()`` would copy per launch.
+                pr_busy = any(q.app_run is not app_run for q in self.pr_queue._items)
+            yield request
+            wait = engine.now - started
         self.stats.note_launch(wait, pr_in_flight=pr_busy)
         telemetry = self.telemetry
         if telemetry is not None and telemetry.wants_launch:

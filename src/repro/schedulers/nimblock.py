@@ -51,7 +51,7 @@ class NimblockScheduler(OnBoardScheduler):
         free = self.little_total
         # Primary: optimal slot count per app, oldest arrival first.
         for app in order:
-            demand = app.used_little + len(app.next_little_payloads())
+            demand = app.used_little + app.little_payload_count()
             target = min(self.optimal_for(app), demand)
             grant = max(app.used_little, min(target, max(free, 0)))
             app.alloc_little = grant
@@ -60,7 +60,7 @@ class NimblockScheduler(OnBoardScheduler):
         # Dynamic sharing: leftover slots go to apps that can use more.
         if free > 0:
             for app in order:
-                demand = app.used_little + len(app.next_little_payloads())
+                demand = app.used_little + app.little_payload_count()
                 extra = min(free, max(0, demand - app.alloc_little))
                 if extra:
                     app.alloc_little += extra

@@ -248,6 +248,75 @@ class AppRun:
             eligible.append(bundle)
         return eligible
 
+    def first_little_payload(self) -> Optional[TaskSpec]:
+        """First element of :meth:`next_little_payloads`, without the list.
+
+        The planning loop only ever consumes the head of the eligibility
+        list (lowest index first), so an early-exit scan avoids building
+        and discarding a list per scheduler pass.  Keep the eligibility
+        rules in sync with :meth:`next_little_payloads`.
+        """
+        preempt_floor = None
+        for run in self.loaded.values():
+            if isinstance(run, TaskRun) and run.preempt_requested:
+                index = run.task.index
+                if preempt_floor is None or index < preempt_floor:
+                    preempt_floor = index
+        batch = self.batch
+        done_counts = self.done_counts
+        loaded = self.loaded
+        pending_pr = self.pending_pr
+        for task in self.spec.tasks:
+            if preempt_floor is not None and task.index > preempt_floor:
+                return None
+            if done_counts[task.index] >= batch:
+                continue
+            if task.name in loaded or task.name in pending_pr:
+                continue
+            return task
+        return None
+
+    def little_payload_count(self) -> int:
+        """``len(next_little_payloads())`` without building the list.
+
+        Nimblock's allocator queries demand twice per pass; a counting
+        scan keeps that O(tasks) but allocation-free.  Keep the
+        eligibility rules in sync with :meth:`next_little_payloads`.
+        """
+        preempt_floor = None
+        for run in self.loaded.values():
+            if isinstance(run, TaskRun) and run.preempt_requested:
+                index = run.task.index
+                if preempt_floor is None or index < preempt_floor:
+                    preempt_floor = index
+        count = 0
+        batch = self.batch
+        done_counts = self.done_counts
+        loaded = self.loaded
+        pending_pr = self.pending_pr
+        for task in self.spec.tasks:
+            if preempt_floor is not None and task.index > preempt_floor:
+                break
+            if done_counts[task.index] >= batch:
+                continue
+            if task.name in loaded or task.name in pending_pr:
+                continue
+            count += 1
+        return count
+
+    def first_big_payload(self) -> Optional[BundleSpec]:
+        """First element of :meth:`next_big_payloads`, without the list."""
+        left = self._bundle_members_left
+        loaded = self.loaded
+        pending_pr = self.pending_pr
+        for bundle_index, bundle in enumerate(self.spec.bundles):
+            if left is not None and left[bundle_index] == 0:
+                continue
+            if bundle.name in loaded or bundle.name in pending_pr:
+                continue
+            return bundle
+        return None
+
     @property
     def used_slots(self) -> int:
         return self.used_big + self.used_little
@@ -304,11 +373,12 @@ class TaskRun:
         # pipelining granularity, and the dependency base.
         item_ms = self.task.exec_time_ms + scheduler.params.inter_slot_transfer_ms
         chunk = scheduler.pipeline_chunk_items if scheduler.item_pipelining else None
+        item_level = chunk == 1
         last_item = batch - 1
         item_event = app.item_event
         mark_item_done = app.mark_item_done
         core = scheduler._core
-        acquire = core.acquire
+        try_acquire = core.try_acquire
         release = core.release
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
@@ -327,7 +397,9 @@ class TaskRun:
             # systems; naive ones stream coarser chunks (or whole batches),
             # so their slots idle while upstream stages drain — the
             # under-utilization the paper attributes to uniform sharing.
-            if chunk is None:
+            if item_level:
+                upstream_item = item
+            elif chunk is None:
                 upstream_item = last_item
             else:
                 upstream_item = min(last_item, (item // chunk + 1) * chunk - 1)
@@ -342,17 +414,25 @@ class TaskRun:
                 continue  # re-check preemption after a potentially long wait
             # Inlined launch gate (keep in sync with
             # OnBoardScheduler.launch_gate — the canonical, documented
-            # form): every item launch needs the scheduler core.
-            started = engine.now
-            busy_app = scheduler._inflight_app
-            pr_busy = busy_app is not None and busy_app is not app
-            if not pr_busy and pr_items:
-                pr_busy = any(q.app_run is not app for q in pr_items)
-            yield acquire()
-            wait = engine.now - started
+            # form): every item launch needs the scheduler core.  The
+            # uncontended case grants in place — no request object, no
+            # dispatch round-trip — and only the contended branch pays
+            # for the PR-busy scan.
+            request = try_acquire()
+            if request is None:
+                wait = 0.0
+                blocked = False
+            else:
+                started = engine.now
+                busy_app = scheduler._inflight_app
+                pr_busy = busy_app is not None and busy_app is not app
+                if not pr_busy and pr_items:
+                    pr_busy = any(q.app_run is not app for q in pr_items)
+                yield request
+                wait = engine.now - started
+                blocked = wait > BLOCK_EPSILON_MS and pr_busy
             stats.launches += 1
             stats.launch_wait_ms += wait
-            blocked = wait > BLOCK_EPSILON_MS and pr_busy
             if blocked:
                 stats.launch_blocked += 1
                 stats.window_blocked += 1
@@ -421,7 +501,10 @@ class BundleRun:
         app = self.app_run
         scheduler = self.scheduler
         engine = scheduler.engine
-        times = app.spec.bundle_exec_times(self.bundle)
+        # Bundle payloads always come from ``spec.bundles`` (validated at
+        # spec construction), so index the frozen time table directly
+        # instead of re-validating membership per load.
+        times = app.spec._bundle_times[self.bundle.index]
         # Internal stages stream on-chip: the steady-state rate is set by
         # the slowest member alone; the boundary DDR hop is paid once, in
         # the fill, and thereafter overlaps the slowest member.
@@ -433,7 +516,7 @@ class BundleRun:
         done_counts = app.done_counts
         mark_bundle_item_done = app.mark_bundle_item_done
         core = scheduler._core
-        acquire = core.acquire
+        try_acquire = core.try_acquire
         release = core.release
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
@@ -451,16 +534,21 @@ class BundleRun:
                 yield app.item_event(first - 1, item)
             # Inlined launch gate (keep in sync with
             # OnBoardScheduler.launch_gate, the canonical form).
-            started = engine.now
-            busy_app = scheduler._inflight_app
-            pr_busy = busy_app is not None and busy_app is not app
-            if not pr_busy and pr_items:
-                pr_busy = any(q.app_run is not app for q in pr_items)
-            yield acquire()
-            wait = engine.now - started
+            request = try_acquire()
+            if request is None:
+                wait = 0.0
+                blocked = False
+            else:
+                started = engine.now
+                busy_app = scheduler._inflight_app
+                pr_busy = busy_app is not None and busy_app is not app
+                if not pr_busy and pr_items:
+                    pr_busy = any(q.app_run is not app for q in pr_items)
+                yield request
+                wait = engine.now - started
+                blocked = wait > BLOCK_EPSILON_MS and pr_busy
             stats.launches += 1
             stats.launch_wait_ms += wait
-            blocked = wait > BLOCK_EPSILON_MS and pr_busy
             if blocked:
                 stats.launch_blocked += 1
                 stats.window_blocked += 1
@@ -480,7 +568,7 @@ class BundleRun:
         scheduler = self.scheduler
         engine = scheduler.engine
         core = scheduler._core
-        acquire = core.acquire
+        try_acquire = core.try_acquire
         release = core.release
         stats = scheduler.stats
         pr_items = scheduler.pr_queue._items
@@ -504,16 +592,21 @@ class BundleRun:
                         yield waiting
                 # Inlined launch gate (keep in sync with
                 # OnBoardScheduler.launch_gate, the canonical form).
-                started = engine.now
-                busy_app = scheduler._inflight_app
-                pr_busy = busy_app is not None and busy_app is not app
-                if not pr_busy and pr_items:
-                    pr_busy = any(q.app_run is not app for q in pr_items)
-                yield acquire()
-                wait = engine.now - started
+                request = try_acquire()
+                if request is None:
+                    wait = 0.0
+                    blocked = False
+                else:
+                    started = engine.now
+                    busy_app = scheduler._inflight_app
+                    pr_busy = busy_app is not None and busy_app is not app
+                    if not pr_busy and pr_items:
+                        pr_busy = any(q.app_run is not app for q in pr_items)
+                    yield request
+                    wait = engine.now - started
+                    blocked = wait > BLOCK_EPSILON_MS and pr_busy
                 stats.launches += 1
                 stats.launch_wait_ms += wait
-                blocked = wait > BLOCK_EPSILON_MS and pr_busy
                 if blocked:
                     stats.launch_blocked += 1
                     stats.window_blocked += 1

@@ -204,7 +204,26 @@ WheelEngine`) override this to count every custody stage, so invariant
                         self._seq = seq = self._seq + 1
                         push(heap, (when, 1, seq, process))
                     else:
-                        if isinstance(target, Event):
+                        # Bare-delay sleeps are the most common yield on
+                        # the per-item path, so probe them before the
+                        # Event isinstance check.
+                        tcls = type(target)
+                        if (tcls is float or tcls is int) and target >= 0:
+                            # Bare-delay shorthand (see Process._resume):
+                            # re-arm a pooled sleep with this process
+                            # already on the fast lane.
+                            if pool:
+                                timeout = pool.pop()
+                                timeout._fast_process = process
+                                timeout._value = None
+                                timeout.delay = target
+                                self._seq = seq = self._seq + 1
+                                push(heap, (when + target, 1, seq, timeout))
+                            else:
+                                timeout = PooledTimeout(self, target)
+                                timeout._fast_process = process
+                            process._target = timeout
+                        elif isinstance(target, Event):
                             tcallbacks = target.callbacks
                             if tcallbacks is None:
                                 # Already dispatched: feed its outcome back in.
@@ -216,36 +235,19 @@ WheelEngine`) override this to count every custody stage, so invariant
                                 tcallbacks.append(process._resume)
                             process._target = target
                         else:
-                            tcls = type(target)
-                            if (tcls is float or tcls is int) and target >= 0:
-                                # Bare-delay shorthand (see Process._resume):
-                                # re-arm a pooled sleep with this process
-                                # already on the fast lane.
-                                if pool:
-                                    timeout = pool.pop()
-                                    timeout._fast_process = process
-                                    timeout._value = None
-                                    timeout.delay = target
-                                    self._seq = seq = self._seq + 1
-                                    push(heap, (when + target, 1, seq, timeout))
-                                else:
-                                    timeout = PooledTimeout(self, target)
-                                    timeout._fast_process = process
-                                process._target = timeout
+                            if tcls is float or tcls is int:
+                                err: BaseException = RuntimeError(
+                                    f"process yielded a negative delay: {target!r}"
+                                )
                             else:
-                                if tcls is float or tcls is int:
-                                    err: BaseException = RuntimeError(
-                                        f"process yielded a negative delay: {target!r}"
-                                    )
-                                else:
-                                    err = RuntimeError(
-                                        f"process yielded a non-event: {target!r}"
-                                    )
-                                process._generator.close()
-                                process._ok = False
-                                process._value = err
-                                self._seq = seq = self._seq + 1
-                                push(heap, (when, 1, seq, process))
+                                err = RuntimeError(
+                                    f"process yielded a non-event: {target!r}"
+                                )
+                            process._generator.close()
+                            process._ok = False
+                            process._value = err
+                            self._seq = seq = self._seq + 1
+                            push(heap, (when, 1, seq, process))
                     break
                 if not callbacks:
                     if type(popped) is PooledTimeout:

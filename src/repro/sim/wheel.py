@@ -469,7 +469,51 @@ class WheelEngine(Engine):
                                 self._seq = seq = self._seq + 1
                                 push(heap, (when, 1, seq, process))
                             else:
-                                if isinstance(target, Event):
+                                # Bare-delay sleeps dominate the chain, so
+                                # probe them before the Event isinstance
+                                # check (mirrors Engine.run).
+                                tcls = type(target)
+                                if (tcls is float or tcls is int) and target >= 0:
+                                    # Bare-delay shorthand: re-arm a pooled
+                                    # sleep and — the slot is free and the
+                                    # wheel empty here — chain directly.
+                                    if pool:
+                                        timeout = pool.pop()
+                                        timeout._fast_process = process
+                                        timeout._value = None
+                                        timeout.delay = target
+                                        process._target = timeout
+                                        self._seq = seq = self._seq + 1
+                                        nwhen = when + target
+                                        if self._slot_e is not None or self._wcount:
+                                            # The send parked its own
+                                            # timeout in the slot (or
+                                            # engaged the wheel): stage
+                                            # ours, the outer loop sorts
+                                            # them out.
+                                            push(heap, (nwhen, 1, seq, timeout))
+                                        elif (
+                                            not heap
+                                            and not callbacks
+                                            and nwhen <= horizon
+                                        ):
+                                            if type(popped) is PooledTimeout:
+                                                popped.callbacks = callbacks
+                                                pool.append(popped)
+                                            self.now = when = nwhen
+                                            popped = event = timeout
+                                            callbacks = event.callbacks
+                                            event.callbacks = None
+                                            continue
+                                        else:
+                                            self._slot_t = nwhen
+                                            self._slot_s = seq
+                                            self._slot_e = timeout
+                                    else:
+                                        timeout = PooledTimeout(self, target)
+                                        timeout._fast_process = process
+                                        process._target = timeout
+                                elif isinstance(target, Event):
                                     tcallbacks = target.callbacks
                                     if tcallbacks is None:
                                         # Already dispatched: feed it back in.
@@ -501,61 +545,19 @@ class WheelEngine(Engine):
                                         tcallbacks.append(process._resume)
                                         process._target = target
                                 else:
-                                    tcls = type(target)
-                                    if (tcls is float or tcls is int) and target >= 0:
-                                        # Bare-delay shorthand: re-arm a pooled
-                                        # sleep and — the slot is free and the
-                                        # wheel empty here — chain directly.
-                                        if pool:
-                                            timeout = pool.pop()
-                                            timeout._fast_process = process
-                                            timeout._value = None
-                                            timeout.delay = target
-                                            process._target = timeout
-                                            self._seq = seq = self._seq + 1
-                                            nwhen = when + target
-                                            if self._slot_e is not None or self._wcount:
-                                                # The send parked its own
-                                                # timeout in the slot (or
-                                                # engaged the wheel): stage
-                                                # ours, the outer loop sorts
-                                                # them out.
-                                                push(heap, (nwhen, 1, seq, timeout))
-                                            elif (
-                                                not heap
-                                                and not callbacks
-                                                and nwhen <= horizon
-                                            ):
-                                                if type(popped) is PooledTimeout:
-                                                    popped.callbacks = callbacks
-                                                    pool.append(popped)
-                                                self.now = when = nwhen
-                                                popped = event = timeout
-                                                callbacks = event.callbacks
-                                                event.callbacks = None
-                                                continue
-                                            else:
-                                                self._slot_t = nwhen
-                                                self._slot_s = seq
-                                                self._slot_e = timeout
-                                        else:
-                                            timeout = PooledTimeout(self, target)
-                                            timeout._fast_process = process
-                                            process._target = timeout
+                                    if tcls is float or tcls is int:
+                                        err: BaseException = RuntimeError(
+                                            f"process yielded a negative delay: {target!r}"
+                                        )
                                     else:
-                                        if tcls is float or tcls is int:
-                                            err: BaseException = RuntimeError(
-                                                f"process yielded a negative delay: {target!r}"
-                                            )
-                                        else:
-                                            err = RuntimeError(
-                                                f"process yielded a non-event: {target!r}"
-                                            )
-                                        process._generator.close()
-                                        process._ok = False
-                                        process._value = err
-                                        self._seq = seq = self._seq + 1
-                                        push(heap, (when, 1, seq, process))
+                                        err = RuntimeError(
+                                            f"process yielded a non-event: {target!r}"
+                                        )
+                                    process._generator.close()
+                                    process._ok = False
+                                    process._value = err
+                                    self._seq = seq = self._seq + 1
+                                    push(heap, (when, 1, seq, process))
                             break
                         if not callbacks:
                             if type(popped) is PooledTimeout:
@@ -614,7 +616,31 @@ class WheelEngine(Engine):
                         self._seq = seq = self._seq + 1
                         push(heap, (when, 1, seq, process))
                     else:
-                        if isinstance(target, Event):
+                        # Bare-delay sleeps dominate: probe them before
+                        # the Event isinstance check (mirrors Engine.run).
+                        tcls = type(target)
+                        if (tcls is float or tcls is int) and target >= 0:
+                            if pool:
+                                timeout = pool.pop()
+                                timeout._fast_process = process
+                                timeout._value = None
+                                timeout.delay = target
+                                self._seq = seq = self._seq + 1
+                                if (
+                                    self._slot_e is None
+                                    and not self._wcount
+                                    and not heap
+                                ):
+                                    self._slot_t = when + target
+                                    self._slot_s = seq
+                                    self._slot_e = timeout
+                                else:
+                                    push(heap, (when + target, 1, seq, timeout))
+                            else:
+                                timeout = PooledTimeout(self, target)
+                                timeout._fast_process = process
+                            process._target = timeout
+                        elif isinstance(target, Event):
                             tcallbacks = target.callbacks
                             if tcallbacks is None:
                                 event = target
@@ -625,42 +651,19 @@ class WheelEngine(Engine):
                                 tcallbacks.append(process._resume)
                             process._target = target
                         else:
-                            tcls = type(target)
-                            if (tcls is float or tcls is int) and target >= 0:
-                                if pool:
-                                    timeout = pool.pop()
-                                    timeout._fast_process = process
-                                    timeout._value = None
-                                    timeout.delay = target
-                                    self._seq = seq = self._seq + 1
-                                    if (
-                                        self._slot_e is None
-                                        and not self._wcount
-                                        and not heap
-                                    ):
-                                        self._slot_t = when + target
-                                        self._slot_s = seq
-                                        self._slot_e = timeout
-                                    else:
-                                        push(heap, (when + target, 1, seq, timeout))
-                                else:
-                                    timeout = PooledTimeout(self, target)
-                                    timeout._fast_process = process
-                                process._target = timeout
+                            if tcls is float or tcls is int:
+                                err = RuntimeError(
+                                    f"process yielded a negative delay: {target!r}"
+                                )
                             else:
-                                if tcls is float or tcls is int:
-                                    err = RuntimeError(
-                                        f"process yielded a negative delay: {target!r}"
-                                    )
-                                else:
-                                    err = RuntimeError(
-                                        f"process yielded a non-event: {target!r}"
-                                    )
-                                process._generator.close()
-                                process._ok = False
-                                process._value = err
-                                self._seq = seq = self._seq + 1
-                                push(heap, (when, 1, seq, process))
+                                err = RuntimeError(
+                                    f"process yielded a non-event: {target!r}"
+                                )
+                            process._generator.close()
+                            process._ok = False
+                            process._value = err
+                            self._seq = seq = self._seq + 1
+                            push(heap, (when, 1, seq, process))
                     break
                 if not callbacks:
                     if type(popped) is PooledTimeout:

@@ -154,14 +154,18 @@ class SqliteRecorder(EventRecorder):
         cur = self._conn.cursor()
         cur.execute("BEGIN IMMEDIATE")
         try:
-            first = None
-            for kind, payload in rows:
-                cur.execute(
-                    "INSERT INTO notifications (kind, payload) VALUES (?, ?)",
-                    (kind, payload),
-                )
-                if first is None:
-                    first = cur.lastrowid
+            # One batched statement per append: the transaction already
+            # held the write lock, so ids stay dense and the batch lands
+            # (or rolls back) as a unit.  AUTOINCREMENT guarantees the
+            # new ids follow the pre-insert maximum.
+            row = cur.execute(
+                "SELECT COALESCE(MAX(id), 0) FROM notifications"
+            ).fetchone()
+            first = int(row[0]) + 1
+            cur.executemany(
+                "INSERT INTO notifications (kind, payload) VALUES (?, ?)",
+                rows,
+            )
             cur.execute("COMMIT")
         except BaseException:
             cur.execute("ROLLBACK")
@@ -246,6 +250,13 @@ class JsonlRecorder(EventRecorder):
         self._results = ResultsStore(self.path)
         self._log_path = self.path.with_name(self.path.name + ".nlog")
         self._proj_path = self.path.with_name(self.path.name + ".proj.json")
+        #: Writer-side bookkeeping (record count / newest id), refreshed
+        #: from disk by every ``_sync`` and advanced in memory by
+        #: ``append`` — the single-writer contract makes that exact, and
+        #: it keeps a campaign's Nth chunk append from re-parsing the
+        #: N-1 chunks already on disk.
+        self._n_records = 0
+        self._max_id = 0
         self._sync()
 
     # -- internal helpers ------------------------------------------------
@@ -287,13 +298,17 @@ class JsonlRecorder(EventRecorder):
                 "truncated outside the store; rebuild the log by deleting "
                 f"{self._log_path.name}"
             )
+        max_id = int(entries[-1]["id"]) if entries else 0
         if referenced < n_records:
-            next_id = (int(entries[-1]["id"]) if entries else 0) + 1
+            next_id = max_id + 1
             healed = [
                 {"id": next_id + i, "kind": KIND_RECORD, "ref": referenced + i}
                 for i in range(n_records - referenced)
             ]
             self._append_log_lines(healed)
+            max_id = next_id + len(healed) - 1
+        self._n_records = n_records
+        self._max_id = max_id
 
     def _records(self):
         return self._results.load()
@@ -317,9 +332,12 @@ class JsonlRecorder(EventRecorder):
             self._check_kind(kind)
         if not entries:
             return []
-        self._sync()
-        next_id = self.max_id() + 1
-        n_existing = len(self._records()) if self.path.exists() else 0
+        # No re-sync here: the open-time ``_sync`` reconciled the files,
+        # and this instance is the store's single writer, so the cached
+        # count and id are authoritative — re-parsing both files on every
+        # chunk append would make a campaign's persistence O(N^2).
+        next_id = self._max_id + 1
+        n_existing = self._n_records
         records = [
             RunRecord.from_dict(payload)
             for kind, payload in entries
@@ -343,6 +361,8 @@ class JsonlRecorder(EventRecorder):
             ids.append(next_id)
             next_id += 1
         self._append_log_lines(lines)
+        self._n_records = ref
+        self._max_id = ids[-1]
         return ids
 
     def select(

@@ -42,7 +42,7 @@ def cell_spec(cell) -> Dict[str, object]:
         "sequence_index": cell.sequence_index,
         "seed": cell.seed,
         "shard": cell.shard,
-        "kernel": getattr(cell, "kernel", "optimized"),
+        "kernel": getattr(cell, "kernel", "default"),
     }
     workload = getattr(cell, "workload", None)
     if workload is not None:

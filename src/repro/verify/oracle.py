@@ -320,7 +320,9 @@ class DifferentialOracle:
     against that single reference fingerprint.  ``kernels`` names the
     candidates (resolved through the registry); the default is the classic
     two-way heap-vs-reference comparison, and the verify CLI passes
-    ``("optimized", "wheel")`` for the three-way sweep.  With more than
+    ``("wheel", "optimized")`` for the three-way sweep (wheel first: the
+    production default is the candidate-of-record, so ``optimized`` —
+    and with it a report's headline numbers — binds to it).  With more than
     one candidate, divergence field names are tagged ``kernel:field`` so a
     failing sweep says which backend broke.
 

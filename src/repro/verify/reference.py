@@ -71,8 +71,12 @@ class ReferenceEngine(Engine):
 #: Named kernels the campaign/verify layers can run a scenario on.
 #: ``heap`` is an alias for ``optimized`` (the heapq-calendar kernel), so
 #: bench/verify invocations can say ``--compare wheel,heap`` and mean the
-#: backend by its data structure rather than its history.
+#: backend by its data structure rather than its history.  ``default``
+#: names whatever kernel production entry points use when no ``--kernel``
+#: is given — currently the wheel — so campaign snapshots and CLI flags
+#: stay meaningful if the default ever moves again.
 KERNELS: Dict[str, Callable[[], Engine]] = {
+    "default": WheelEngine,
     "optimized": Engine,
     "heap": Engine,
     "wheel": WheelEngine,

@@ -157,3 +157,126 @@ class TestCLI:
             "bench", "--only", "bogus", "--no-write",
             "--out", str(tmp_path / "x.json"),
         ) == 2
+
+
+class TestRoundsMismatchRefusal:
+    def _entry(self, name, throughput, rounds):
+        return {
+            "note": "synthetic", "quick": True,
+            "results": {name: {
+                "throughput": throughput, "unit": "events", "rounds": rounds,
+            }},
+        }
+
+    def _result(self, name, rounds):
+        return bench.BenchResult(
+            name=name, unit="events", units_per_iter=1000, iters=1,
+            rounds=rounds, best_s=1.0, mean_s=1.0,
+        )
+
+    def test_mismatched_rounds_reported(self):
+        mismatches = bench.rounds_mismatches(
+            [self._result("k", 2)], self._entry("k", 1000.0, 12)
+        )
+        assert len(mismatches) == 1
+        assert "--rounds 12" in mismatches[0]
+
+    def test_matching_rounds_pass(self):
+        assert bench.rounds_mismatches(
+            [self._result("k", 12)], self._entry("k", 1000.0, 12)
+        ) == []
+
+    def test_legacy_entries_without_rounds_pass(self):
+        # Pre-refusal trajectory entries lack per-result rounds; they
+        # stay comparable (the loose ratio gate is all we have for them).
+        entry = self._entry("k", 1000.0, 12)
+        del entry["results"]["k"]["rounds"]
+        assert bench.rounds_mismatches([self._result("k", 2)], entry) == []
+
+    def test_cli_refuses_mismatched_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        argv = ["bench", "--quick", "--only", "kernel_event_throughput",
+                "--out", str(out)]
+        assert run_cli(*argv, "--rounds", "2") == 0
+        assert run_cli(*argv, "--rounds", "1", "--no-write",
+                       "--baseline", str(out)) == 2
+        assert "round-count mismatch" in capsys.readouterr().err
+
+    def test_cli_refusal_never_appends(self, tmp_path):
+        # A refused comparison must not record its off-protocol
+        # measurement: the trajectory would accumulate entries no later
+        # gate could use.
+        out = tmp_path / "BENCH_kernel.json"
+        argv = ["bench", "--quick", "--only", "kernel_event_throughput",
+                "--out", str(out)]
+        assert run_cli(*argv, "--rounds", "2") == 0
+        before = out.read_bytes()
+        assert run_cli(*argv, "--rounds", "1", "--baseline", str(out)) == 2
+        assert out.read_bytes() == before
+
+
+class TestCampaignPayloads:
+    def test_new_payloads_registered(self):
+        names = {spec.name for spec in bench.BENCHES}
+        assert {"campaign_cell_overhead", "fleet_short_cells"} <= names
+        compare_names = {name for name, _ in bench.COMPARE_BENCHES}
+        assert {"campaign_cell_overhead", "fleet_short_cells"} <= compare_names
+        assert bench.COMPARE_FLOORS["campaign_cell_overhead"] >= 0.8
+        assert bench.COMPARE_FLOORS["fleet_short_cells"] >= 0.8
+
+    def test_campaign_cell_overhead_counts_cells(self):
+        assert bench._bench_campaign_cell_overhead() == 12
+
+    def test_fleet_short_cells_counts_cells(self):
+        assert bench._bench_fleet_short_cells() > 0
+
+    def test_kernel_name_round_trips_registry_factories(self):
+        from repro.sim import Engine, WheelEngine
+        from repro.verify.reference import ReferenceEngine
+
+        assert bench._kernel_name(None) == "default"
+        assert bench._kernel_name(WheelEngine) == "wheel"
+        assert bench._kernel_name(Engine) == "heap"
+        assert bench._kernel_name(ReferenceEngine) == "reference"
+        with pytest.raises(KeyError):
+            bench._kernel_name(object)
+
+    def test_compare_result_records_rounds(self):
+        results = bench.run_compare("wheel", "heap", rounds=1)
+        assert results and all(r.rounds == 1 for r in results)
+        table = bench.format_compare_table(results)
+        assert "1 rounds" in table
+
+
+class TestProfileMode:
+    def test_profile_writes_report(self, tmp_path):
+        reports = bench.run_profile(
+            names=["kernel_event_throughput"], out_dir=str(tmp_path)
+        )
+        assert len(reports) == 1
+        name, path, top_text = reports[0]
+        assert name == "kernel_event_throughput"
+        assert path == tmp_path / "profile_kernel_event_throughput.txt"
+        full = path.read_text()
+        assert "cumulative" in full
+        # The terminal summary leads with the hotspot column header.
+        assert top_text.lstrip().startswith("ncalls")
+        assert "_bench_event_throughput" in top_text
+
+    def test_profile_cli_is_side_effect_free(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        assert run_cli(
+            "bench", "--profile", "--only", "kernel_event_throughput",
+            "--profile-dir", str(tmp_path / "profiles"), "--out", str(out),
+        ) == 0
+        captured = capsys.readouterr()
+        assert "profiled 1 payload(s)" in captured.out
+        assert not out.exists()  # profiling never touches the trajectory
+        assert (tmp_path / "profiles"
+                / "profile_kernel_event_throughput.txt").exists()
+
+    def test_profile_unknown_name_is_an_operator_error(self, tmp_path):
+        assert run_cli(
+            "bench", "--profile", "--only", "bogus",
+            "--profile-dir", str(tmp_path),
+        ) == 2

@@ -125,6 +125,19 @@ class TestSimulationCore:
         via_core = simulate_run("Nimblock", arrivals)
         assert via_wrapper.responses.samples_ms == via_core.stats.response_times_ms()
 
+    def test_run_sequence_digest_only_matches_exact_aggregates(self):
+        arrivals = WorkloadGenerator(1).sequence(Condition.LOOSE, n_apps=3)
+        exact = run_sequence("Nimblock", arrivals)
+        digest = run_sequence("Nimblock", arrivals, digest_only=True)
+        # Production memory config: no retained per-request records, a
+        # streaming digest instead — same counts and (for these few
+        # samples, exactly representable) aggregates.
+        assert digest.stats.responses == []
+        assert digest.responses.count == exact.responses.count
+        assert digest.responses.mean() == pytest.approx(exact.responses.mean())
+        assert digest.makespan_ms == exact.makespan_ms
+        assert digest.stats.completions == exact.stats.completions
+
     def test_drain_error_is_diagnosable(self):
         arrivals = WorkloadGenerator(1).sequence(Condition.STRESS, n_apps=4)
         with pytest.raises(DrainError) as excinfo:
